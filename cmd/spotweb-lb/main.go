@@ -1,0 +1,104 @@
+// Command spotweb-lb runs the in-process HTTP testbed interactively: a
+// cluster of simulated web servers behind the transiency-aware load
+// balancer, exposed on a local port, with an optional scripted revocation.
+// It is the manual-poking counterpart of the Fig. 4(a) experiment.
+//
+// Usage:
+//
+//	spotweb-lb -listen :8080 -backends 25,25,50,50,40,40 \
+//	           -revoke-after 30s -revoke 2,3 -warning 10s
+//
+// Then drive it with any HTTP load tool:
+//
+//	curl -H 'X-Session: alice' http://localhost:8080/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/testbed"
+)
+
+func main() {
+	listen := flag.String("listen", ":8080", "address for the load balancer")
+	backendsFlag := flag.String("backends", "25,25,50,50,40,40", "comma-separated backend capacities (req/s)")
+	service := flag.Duration("service", 4*time.Millisecond, "base service time per request")
+	startDelay := flag.Duration("start-delay", 5*time.Second, "simulated VM boot time")
+	warmup := flag.Duration("warmup", 5*time.Second, "cache warm-up window")
+	warning := flag.Duration("warning", 10*time.Second, "revocation warning period")
+	vanilla := flag.Bool("vanilla", false, "disable transiency awareness (baseline)")
+	revokeAfter := flag.Duration("revoke-after", 0, "inject a revocation after this delay (0 = never)")
+	revoke := flag.String("revoke", "", "comma-separated backend ids to revoke")
+	rate := flag.Float64("rate", 100, "assumed offered rate for the revocation decision")
+	flag.Parse()
+
+	caps, err := parseFloats(*backendsFlag)
+	if err != nil {
+		log.Fatalf("bad -backends: %v", err)
+	}
+	cl := testbed.NewCluster(testbed.ClusterConfig{
+		Backend: testbed.BackendConfig{
+			BaseServiceTime: *service,
+			StartDelay:      *startDelay,
+			WarmupDur:       *warmup,
+			ColdFactor:      0.4,
+		},
+		Warning: *warning,
+		Vanilla: *vanilla,
+	})
+	defer cl.Close()
+	var ids []int
+	for _, c := range caps {
+		b := cl.AddBackend(c)
+		ids = append(ids, b.ID)
+		log.Printf("backend %d: capacity %.0f req/s at %s", b.ID, c, b.URL())
+	}
+
+	if *revokeAfter > 0 && *revoke != "" {
+		victims, err := parseInts(*revoke)
+		if err != nil {
+			log.Fatalf("bad -revoke: %v", err)
+		}
+		time.AfterFunc(*revokeAfter, func() {
+			log.Printf("revoking backends %v (warning %s)", victims, *warning)
+			cl.Revoke(victims, *rate)
+		})
+	}
+
+	log.Printf("spotweb-lb listening on %s (vanilla=%v, %d backends)", *listen, *vanilla, len(ids))
+	if err := http.ListenAndServe(*listen, cl); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

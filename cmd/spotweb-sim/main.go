@@ -1,0 +1,87 @@
+// Command spotweb-sim regenerates the paper's tables and figures. Each
+// experiment id maps to one table/figure of the evaluation (§6); see
+// DESIGN.md for the index.
+//
+// Usage:
+//
+//	spotweb-sim -exp fig6b [-quick] [-seed 42] [-workload wiki|vod]
+//	spotweb-sim -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id: table1, fig3, fig4a, fig4cd, fig5, fig6a, fig6b, tv4, fig7a, fig7b, padding, all")
+	quick := flag.Bool("quick", false, "shrink durations for a fast run")
+	seed := flag.Int64("seed", 42, "random seed")
+	workload := flag.String("workload", "wiki", "workload for fig6b: wiki or vod")
+	flag.Parse()
+
+	opt := experiments.Options{Quick: *quick, Seed: *seed}
+	w := os.Stdout
+
+	run := func(id string) bool {
+		switch id {
+		case "table1":
+			experiments.Table1(w)
+		case "fig3a", "fig3b", "fig3":
+			experiments.Fig3Traces(w, opt)
+		case "fig4a":
+			experiments.Fig4a(w, opt)
+		case "fig4a-sim":
+			experiments.Fig4aSim(w, opt)
+		case "fig4c", "fig4d", "fig4cd", "padding":
+			experiments.Fig4cd(w, opt)
+		case "fig5", "fig5a", "fig5b", "fig5c", "fig5d":
+			experiments.Fig5(w, opt)
+		case "fig6a":
+			experiments.Fig6a(w, opt)
+		case "fig6b":
+			experiments.Fig6b(w, opt, *workload)
+		case "tv4":
+			experiments.Fig6b(w, opt, "vod")
+		case "fig7a":
+			experiments.Fig7a(w, opt)
+		case "fig7b":
+			experiments.Fig7b(w, opt)
+		case "ablation-churn":
+			experiments.AblationChurn(w, opt)
+		case "ablation-padding":
+			experiments.AblationPadding(w, opt)
+		case "ablation-risk":
+			experiments.AblationRisk(w, opt)
+		case "startup":
+			experiments.DiscussionStartupDelay(w, opt)
+		case "google":
+			experiments.DiscussionGoogleCloud(w, opt)
+		case "predictors":
+			experiments.PredictorComparison(w, opt)
+		case "ablation-longreq":
+			experiments.AblationLongRequests(w, opt)
+		default:
+			return false
+		}
+		return true
+	}
+
+	if *exp == "all" {
+		for _, id := range []string{"table1", "fig3", "fig4a", "fig4a-sim", "fig4cd", "fig5",
+			"fig6a", "fig6b", "tv4", "fig7a", "fig7b",
+			"ablation-churn", "ablation-padding", "ablation-risk", "ablation-longreq", "startup", "google", "predictors"} {
+			fmt.Fprintf(w, "\n===== %s =====\n", id)
+			run(id)
+		}
+		return
+	}
+	if !run(*exp) {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,168 @@
+// Command spotwebd runs the complete SpotWeb prototype as one process: the
+// in-process web cluster behind the transiency-aware load balancer, the
+// monitoring subsystem with its REST API, and the control loop (predictors →
+// MPO optimizer → portfolio execution) re-planning on a fixed interval.
+// Revocations are injected from the catalog's failure probabilities so the
+// whole pipeline — warning relay, session migration, replacement capacity —
+// exercises continuously.
+//
+// Usage:
+//
+//	spotwebd -listen :8080 -monitor :8081 -interval 10s -markets 6
+//
+// Then:
+//
+//	curl http://localhost:8080/                 # a user request via the LB
+//	curl http://localhost:8081/stats            # live latency/throughput
+//	curl http://localhost:8081/portfolio        # the executed portfolio
+//	curl http://localhost:8081/markets          # market snapshot
+package main
+
+import (
+	"flag"
+	"log"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	spotweb "repro"
+	"repro/internal/monitor"
+	"repro/internal/testbed"
+)
+
+func main() {
+	listen := flag.String("listen", ":8080", "load balancer address")
+	monAddr := flag.String("monitor", ":8081", "monitoring REST address")
+	interval := flag.Duration("interval", 10*time.Second, "re-planning interval")
+	markets := flag.Int("markets", 6, "number of synthetic market types")
+	seed := flag.Int64("seed", 42, "random seed")
+	capScale := flag.Float64("cap-scale", 0.2, "scale factor for backend capacities (testbed-sized)")
+	warning := flag.Duration("warning", 5*time.Second, "revocation warning period")
+	flag.Parse()
+
+	cat := spotweb.SyntheticCatalog(spotweb.CatalogConfig{
+		Seed: *seed, NumTypes: *markets, Hours: 24 * 30,
+	})
+	ctrl, err := spotweb.NewController(spotweb.ControllerOptions{
+		Catalog:   cat,
+		Optimizer: spotweb.OptimizerConfig{Horizon: 4, ChurnKappa: 1.0},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	collector := monitor.NewCollector(time.Minute)
+	rates := monitor.NewRateSeries(*interval)
+	cluster := testbed.NewCluster(testbed.ClusterConfig{
+		Backend: testbed.BackendConfig{
+			BaseServiceTime: 3 * time.Millisecond,
+			StartDelay:      2 * time.Second,
+			WarmupDur:       2 * time.Second,
+			ColdFactor:      0.4,
+		},
+		Warning: *warning,
+		OnRequest: func(lat time.Duration, dropped bool) {
+			collector.Record(lat, dropped)
+			rates.Mark()
+		},
+	})
+	defer cluster.Close()
+
+	caps := make([]float64, cat.Len())
+	for i, m := range cat.Markets {
+		caps[i] = m.Type.Capacity * *capScale
+	}
+
+	var mu sync.Mutex
+	currentWeights := map[int]float64{}
+	mkMon := monitor.NewMarketMonitor(cat)
+	api := &monitor.API{
+		Collector: collector,
+		Markets:   mkMon,
+		Portfolio: func() map[int]float64 {
+			mu.Lock()
+			defer mu.Unlock()
+			out := make(map[int]float64, len(currentWeights))
+			for k, v := range currentWeights {
+				out[k] = v
+			}
+			return out
+		},
+	}
+
+	// Control loop: observe, plan, execute.
+	go func() {
+		rng := rand.New(rand.NewSource(*seed))
+		t := 0
+		observed := 20.0 // bootstrap rate until real traffic is measured
+		tick := time.NewTicker(*interval)
+		defer tick.Stop()
+		for range tick.C {
+			if completed := rates.CompletedRates(); len(completed) > 0 {
+				observed = completed[len(completed)-1]
+				if observed < 1 {
+					observed = 1
+				}
+			}
+			dec, err := ctrl.Step(t, observed)
+			if err != nil {
+				log.Printf("plan t=%d: %v", t, err)
+				continue
+			}
+			started, stopped := cluster.ScaleTo(scaleCounts(dec.Counts, *capScale), caps)
+			mu.Lock()
+			currentWeights = dec.Weights
+			mu.Unlock()
+			log.Printf("t=%d observed=%.1f req/s predicted=%.1f capacity=%.1f started=%d stopped=%d",
+				t, observed, dec.PredictedRate, dec.Capacity**capScale, started, stopped)
+
+			// Inject revocations per the catalog's failure probabilities.
+			counts := cluster.MarketCounts(cat.Len())
+			for i, m := range cat.Markets {
+				if !m.Transient || counts[i] == 0 {
+					continue
+				}
+				if rng.Float64() < m.FailProbAt(t) {
+					victims := victimsInMarket(cluster, cat.Len(), i)
+					if len(victims) > 0 {
+						log.Printf("revocation warning: market %s, backends %v", m.ID(), victims)
+						mkMon.RelayWarning(monitor.Warning{
+							ServerID: victims[0], Market: i,
+							Deadline: time.Now().Add(*warning),
+						})
+						cluster.Revoke(victims, observed)
+					}
+				}
+			}
+			t++
+		}
+	}()
+
+	go func() {
+		log.Printf("monitoring REST on %s (/stats /markets /portfolio /warnings /healthz)", *monAddr)
+		if err := http.ListenAndServe(*monAddr, api.Handler()); err != nil {
+			log.Fatal(err)
+		}
+	}()
+	log.Printf("spotwebd load balancer on %s (%d markets, %s re-planning)", *listen, cat.Len(), *interval)
+	if err := http.ListenAndServe(*listen, cluster); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// scaleCounts keeps server counts unchanged: capacities are already scaled,
+// so counts translate directly. The indirection documents the intent.
+func scaleCounts(counts []int, _ float64) []int { return counts }
+
+// victimsInMarket lists the live backend ids bought in a market.
+func victimsInMarket(c *testbed.Cluster, numMarkets, mkt int) []int {
+	var out []int
+	for id, b := range c.Snapshot() {
+		if b == mkt {
+			out = append(out, id)
+		}
+	}
+	_ = numMarkets
+	return out
+}

@@ -1,0 +1,76 @@
+// Command tracegen emits the synthetic traces used by the experiments as
+// CSV: the Wikipedia-like and VoD-like request workloads, and per-market
+// spot price / revocation probability series for a synthetic catalog.
+//
+// Usage:
+//
+//	tracegen -kind workload -out traces.csv [-days 21] [-seed 42]
+//	tracegen -kind market -markets 9 -hours 336 -out markets.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/market"
+	"repro/internal/trace"
+)
+
+func main() {
+	kind := flag.String("kind", "workload", "workload | market")
+	out := flag.String("out", "-", "output file (- for stdout)")
+	days := flag.Int("days", 21, "trace length in days (workload)")
+	hours := flag.Int("hours", 336, "trace length in hours (market)")
+	markets := flag.Int("markets", 9, "number of market types (market)")
+	seed := flag.Int64("seed", 42, "random seed")
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	switch *kind {
+	case "workload":
+		wiki := trace.WikipediaLike(*seed)
+		wiki.Days = *days
+		vod := trace.VoDLike(*seed + 1)
+		vod.Days = *days
+		ws := wiki.Generate()
+		ws.Name = "wikipedia_like"
+		vs := vod.Generate()
+		vs.Name = "vod_like"
+		if err := trace.WriteCSV(w, ws, vs); err != nil {
+			fatal(err)
+		}
+	case "market":
+		cat := market.CatalogConfig{
+			Seed: *seed, NumTypes: *markets, Hours: *hours,
+		}.Generate()
+		var series []*trace.Series
+		for _, m := range cat.Markets {
+			p := m.Price.Clone()
+			p.Name = m.ID() + "_price"
+			f := m.FailProb.Clone()
+			f.Name = m.ID() + "_failprob"
+			series = append(series, p, f)
+		}
+		if err := trace.WriteCSV(w, series...); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown kind %q", *kind))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

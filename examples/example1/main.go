@@ -1,0 +1,129 @@
+// Example1 reproduces the paper's §3.2 "Example 1" with the optimizer API
+// directly: a web application chooses between a small server (10 req/s,
+// 2 ¢/h) and a large server (100 req/s, 15 ¢/h). Load is 25 req/s now and
+// forecast to jump to 110 req/s next hour. Single-period optimization (SPO,
+// the ExoSphere strategy) provisions a third small server for the current
+// interval and must churn to larges an hour later; multi-period optimization
+// (MPO) sees the jump coming and provisions the large server now — lower
+// total cost and fewer server starts/stops.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/linalg"
+	"repro/internal/portfolio"
+)
+
+func main() {
+	// Two server types as markets: small (10 req/s @ $0.02/h) and large
+	// (100 req/s @ $0.15/h). Per-request costs C = price/capacity.
+	caps := []float64{10, 100}
+	perReq := []float64{0.02 / 10, 0.15 / 100} // 0.0020 vs 0.0015
+	fails := []float64{0.02, 0.02}
+	risk := linalg.NewMatrix(2, 2)
+	risk.Set(0, 0, 1e-4)
+	risk.Set(1, 1, 1e-4)
+
+	// Workload forecast: 25 req/s this hour, 110 req/s for the following
+	// three hours.
+	lambda := []float64{25, 110, 110, 110}
+
+	fmt.Println("Paper §3.2 Example 1: small 10 req/s @ 2¢/h vs large 100 req/s @ 15¢/h")
+	fmt.Println("forecast: 25 req/s now, 110 req/s afterwards")
+	fmt.Println()
+
+	churn := 2.0 // transactions are costly (hourly billing)
+
+	// SPO: horizon 1 — only sees the current 25 req/s.
+	spoCfg := portfolio.Config{Horizon: 1, Alpha: 1, ChurnKappa: churn}
+	spoIn := &portfolio.Inputs{
+		Lambda:     lambda[:1],
+		PerReqCost: [][]float64{perReq},
+		FailProb:   [][]float64{fails},
+		Risk:       risk,
+	}
+	spo, err := portfolio.Optimize(spoCfg, spoIn)
+	if err != nil {
+		panic(err)
+	}
+	spoCounts := portfolio.ServerCounts(spo.First(), lambda[0], caps, 0.05)
+	fmt.Printf("SPO (H=1) decision for this hour: %d small, %d large (alloc %v)\n",
+		spoCounts[0], spoCounts[1], short(spo.First()))
+
+	// MPO: horizon 4 — plans through the jump.
+	mpoCfg := portfolio.Config{Horizon: 4, Alpha: 1, ChurnKappa: churn}
+	mpoIn := &portfolio.Inputs{
+		Lambda: lambda,
+		PerReqCost: [][]float64{
+			perReq, perReq, perReq, perReq,
+		},
+		FailProb: [][]float64{fails, fails, fails, fails},
+		Risk:     risk,
+	}
+	mpo, err := portfolio.Optimize(mpoCfg, mpoIn)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("MPO (H=4) plan:")
+	for τ, a := range mpo.Alloc {
+		counts := portfolio.ServerCounts(a, lambda[τ], caps, 0.05)
+		fmt.Printf("  hour %d (λ=%3.0f): %d small, %d large (alloc %v)\n",
+			τ, lambda[τ], counts[0], counts[1], short(a))
+	}
+
+	// Cost the two strategies over the 4 hours, charging whole server-hours
+	// and re-deciding each hour for SPO.
+	prices := []float64{0.02, 0.15}
+	spoTotal, spoStarts := costOut(spoCfg, lambda, perReq, fails, risk, caps, prices)
+	mpoTotal, mpoStarts := costOut(mpoCfg, lambda, perReq, fails, risk, caps, prices)
+	fmt.Printf("\n4-hour rental: SPO-in-a-loop $%.3f with %d server starts; MPO $%.3f with %d\n",
+		spoTotal, spoStarts, mpoTotal, mpoStarts)
+	if mpoTotal <= spoTotal && mpoStarts <= spoStarts {
+		fmt.Println("MPO wins on both cost and churn — the paper's Example 1 conclusion.")
+	}
+}
+
+// costOut replays a receding-horizon strategy over the 4 hours.
+func costOut(cfg portfolio.Config, lambda, perReq, fails []float64,
+	risk *linalg.Matrix, caps, prices []float64) (total float64, starts int) {
+	var prevCounts []int
+	var prevAlloc linalg.Vector
+	h := cfg.Horizon
+	for t := 0; t < len(lambda); t++ {
+		in := &portfolio.Inputs{Risk: risk, PrevAlloc: prevAlloc}
+		for k := 0; k < h; k++ {
+			idx := t + k
+			if idx >= len(lambda) {
+				idx = len(lambda) - 1
+			}
+			in.Lambda = append(in.Lambda, lambda[idx])
+			in.PerReqCost = append(in.PerReqCost, perReq)
+			in.FailProb = append(in.FailProb, fails)
+		}
+		plan, err := portfolio.Optimize(cfg, in)
+		if err != nil {
+			panic(err)
+		}
+		counts := portfolio.ServerCounts(plan.First(), lambda[t], caps, 0.05)
+		for i := range counts {
+			total += float64(counts[i]) * prices[i]
+			if prevCounts != nil && counts[i] > prevCounts[i] {
+				starts += counts[i] - prevCounts[i]
+			} else if prevCounts == nil {
+				starts += counts[i]
+			}
+		}
+		prevCounts = counts
+		prevAlloc = plan.First().Clone()
+	}
+	return total, starts
+}
+
+func short(v linalg.Vector) []float64 {
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = float64(int(x*100+0.5)) / 100
+	}
+	return out
+}

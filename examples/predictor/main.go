@@ -1,0 +1,51 @@
+// Predictor: SpotWeb's intelligent over-provisioning in isolation (§4.3 /
+// Fig. 4(c)(d)) — backtest the cubic-spline + AR(1) predictor with and
+// without the 99% confidence-interval upper bound on a three-week
+// Wikipedia-like trace, and print the error distributions side by side.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/predict"
+	"repro/internal/trace"
+)
+
+func main() {
+	cfg := trace.WikipediaLike(11)
+	series := cfg.Generate()
+	warmup := 14 * 24 // the paper's two-week training window
+
+	base := predict.NewSplinePredictor(predict.SplineConfig{ARLag1: true}, 1)
+	padded := predict.NewSplinePredictor(predict.SplineConfig{ARLag1: true, CIProb: 0.99}, 1)
+
+	rb := predict.Backtest(base, series, warmup)
+	rp := predict.Backtest(padded, series, warmup)
+
+	fmt.Println("one-step-ahead backtest over the last week (relative errors; + = over-provision)")
+	fmt.Printf("%-24s %10s %10s %10s %10s %12s\n",
+		"predictor", "MAPE", "mean over", "max over", "max under", "under frac")
+	for _, row := range []struct {
+		name string
+		r    predict.EvalResult
+	}{
+		{"spline+AR (baseline)", rb},
+		{"spline+AR+99% CI", rp},
+	} {
+		fmt.Printf("%-24s %9.1f%% %9.1f%% %9.1f%% %9.1f%% %11.1f%%\n",
+			row.name, 100*row.r.MAPE, 100*row.r.MeanOver, 100*row.r.MaxOver,
+			100*row.r.MaxUnder, 100*row.r.UnderFraction)
+	}
+
+	fmt.Println("\nmulti-horizon accuracy (MAPE per look-ahead step):")
+	mapes := predict.MultiHorizonBacktest(func() predict.Predictor {
+		return predict.NewSplinePredictor(predict.SplineConfig{ARLag1: true}, 6)
+	}, series, warmup, 6)
+	for h, m := range mapes {
+		fmt.Printf("  h=%d: %5.2f%%\n", h+1, 100*m)
+	}
+
+	fmt.Println("\nThe padded predictor is what SpotWeb provisions against: it buys")
+	fmt.Println("~10-20% extra capacity so that workload spikes and server revocations")
+	fmt.Println("land on spare headroom instead of on user requests.")
+}

@@ -1,0 +1,114 @@
+package autoscale
+
+import (
+	"testing"
+
+	"repro/internal/portfolio"
+	"repro/internal/predict"
+	"repro/internal/sim"
+)
+
+func TestQuPolicyOverProvisionsForKFailures(t *testing.T) {
+	cat := testCatalog(48)
+	p, err := NewQu(cat, 4, 1, &predict.Reactive{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "qu-m4-k1" {
+		t.Fatalf("Name = %q", p.Name())
+	}
+	counts, err := p.Decide(0, 900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := 0
+	var total float64
+	var perMarket []float64
+	for i, c := range counts {
+		if c > 0 {
+			used++
+			cap := float64(c) * cat.Markets[i].Type.Capacity
+			total += cap
+			perMarket = append(perMarket, cap)
+			if cat.Markets[i].Transient == false {
+				t.Fatal("Qu must use transient markets")
+			}
+		}
+	}
+	if used != 4 {
+		t.Fatalf("used %d markets, want 4", used)
+	}
+	// Losing any single market must still leave ≥ demand.
+	for _, cap := range perMarket {
+		if total-cap < 900 {
+			t.Fatalf("K=1 guarantee broken: total %v minus %v < 900", total, cap)
+		}
+	}
+}
+
+func TestQuValidation(t *testing.T) {
+	cat := testCatalog(24)
+	cases := []struct{ m, k int }{{0, 0}, {3, 3}, {3, 5}, {100, 1}}
+	for _, c := range cases {
+		if _, err := NewQu(cat, c.m, c.k, &predict.Reactive{}); err == nil {
+			t.Fatalf("M=%d K=%d should fail", c.m, c.k)
+		}
+	}
+}
+
+func TestQuSurvivesSimulatedRevocations(t *testing.T) {
+	wl := wikiTrace()
+	cat := testCatalog(wl.Len())
+	p, err := NewQu(cat, 4, 1, &predict.Reactive{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &sim.Simulator{
+		Cfg:      sim.Config{Seed: 9, TransiencyAware: true},
+		Cat:      cat,
+		Workload: wl,
+		Policy:   p,
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The K-failure over-provisioning keeps drops negligible.
+	if f := res.DropFraction(); f > 0.01 {
+		t.Fatalf("Qu drop fraction %v", f)
+	}
+	if res.TotalCost <= 0 {
+		t.Fatal("no cost")
+	}
+}
+
+// Qu's blanket 1/(M−K) over-provisioning is costlier than SpotWeb's
+// risk-optimized diversification on the same workload.
+func TestQuCostlierThanSpotWeb(t *testing.T) {
+	wl := wikiTrace()
+	cat := testCatalog(wl.Len())
+	run := func(pol sim.Policy) float64 {
+		s := &sim.Simulator{
+			Cfg:      sim.Config{Seed: 9, TransiencyAware: true},
+			Cat:      cat,
+			Workload: wl,
+			Policy:   pol,
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TotalCost
+	}
+	qu, err := NewQu(cat, 4, 1, &predict.Reactive{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	quCost := run(qu)
+	sw := run(NewSpotWeb(portfolio.Config{Horizon: 4, ChurnKappa: 1.0}, cat,
+		predict.NewSplinePredictor(predict.SplineConfig{ARLag1: true, CIProb: 0.99}, 4),
+		portfolio.MeanRevertSource{Cat: cat}))
+	if sw >= quCost {
+		t.Fatalf("SpotWeb %v should beat Qu %v", sw, quCost)
+	}
+}

@@ -1,0 +1,337 @@
+// Package cluster models the front-end server fleet: VM lifecycle
+// (starting → warming → running → draining → terminated), start-up delays,
+// cold-cache warm-up ramps, per-server effective capacity, and the queueing
+// latency model the simulator uses to translate utilization into response
+// times and drops. Time is an abstract float64; the simulator uses hours and
+// the tests use whatever is convenient.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// State is a server lifecycle state.
+type State int
+
+const (
+	// StateStarting — VM requested, not yet booted.
+	StateStarting State = iota
+	// StateWarming — booted but cache-cold; serves at reduced capacity.
+	StateWarming
+	// StateRunning — fully operational.
+	StateRunning
+	// StateDraining — revocation warning received; sessions migrating away.
+	StateDraining
+	// StateTerminated — gone.
+	StateTerminated
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case StateStarting:
+		return "starting"
+	case StateWarming:
+		return "warming"
+	case StateRunning:
+		return "running"
+	case StateDraining:
+		return "draining"
+	case StateTerminated:
+		return "terminated"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Server is one VM in the front-end tier.
+type Server struct {
+	ID     int
+	Market int // catalog index of the market this server was bought in
+	// Capacity is the steady-state request rate (req/s) the server handles
+	// within SLO (r_i).
+	Capacity float64
+	// ColdFactor is the fraction of capacity available at the start of the
+	// warm-up window (Memcached cold-cache effect); ramps linearly to 1.
+	ColdFactor float64
+
+	state State
+	// launchedAt is when the VM was requested; readyAt = launchedAt +
+	// startDelay; warmAt = readyAt + warmup.
+	launchedAt, readyAt, warmAt float64
+	// terminateAt is set when draining (readyAt + warning) or on stop.
+	terminateAt float64
+}
+
+// State returns the lifecycle state as of the last Advance.
+func (s *Server) State() State { return s.state }
+
+// LaunchedAt returns the time the VM was requested (billing starts here).
+func (s *Server) LaunchedAt() float64 { return s.launchedAt }
+
+// Advance moves the server state machine to time now.
+func (s *Server) Advance(now float64) {
+	switch s.state {
+	case StateStarting:
+		if now >= s.readyAt {
+			s.state = StateWarming
+		}
+		if s.state == StateWarming && now >= s.warmAt {
+			s.state = StateRunning
+		}
+	case StateWarming:
+		if now >= s.warmAt {
+			s.state = StateRunning
+		}
+	case StateDraining:
+		if now >= s.terminateAt {
+			s.state = StateTerminated
+		}
+	}
+}
+
+// EffectiveCapacity returns the req/s the server can serve at time now,
+// accounting for boot, warm-up ramp and draining.
+func (s *Server) EffectiveCapacity(now float64) float64 {
+	switch s.state {
+	case StateStarting, StateTerminated:
+		return 0
+	case StateDraining:
+		// A draining server still serves until termination.
+		if now >= s.terminateAt {
+			return 0
+		}
+		return s.Capacity
+	}
+	if now >= s.warmAt {
+		return s.Capacity
+	}
+	if now <= s.readyAt || s.warmAt <= s.readyAt {
+		return s.Capacity * s.ColdFactor
+	}
+	frac := (now - s.readyAt) / (s.warmAt - s.readyAt)
+	return s.Capacity * (s.ColdFactor + (1-s.ColdFactor)*frac)
+}
+
+// Cluster is a set of servers plus launch-parameter defaults.
+type Cluster struct {
+	// StartDelay is the VM boot time; WarmupDur the cache warm-up window;
+	// ColdFactor the initial capacity fraction during warm-up.
+	StartDelay float64
+	WarmupDur  float64
+	ColdFactor float64
+
+	servers []*Server
+	nextID  int
+}
+
+// New creates a cluster with the given launch parameters.
+func New(startDelay, warmupDur, coldFactor float64) *Cluster {
+	if coldFactor <= 0 || coldFactor > 1 {
+		coldFactor = 0.4
+	}
+	return &Cluster{StartDelay: startDelay, WarmupDur: warmupDur, ColdFactor: coldFactor}
+}
+
+// Launch requests a new server in the given market.
+func (c *Cluster) Launch(mkt int, capacity, now float64) *Server {
+	s := &Server{
+		ID: c.nextID, Market: mkt, Capacity: capacity, ColdFactor: c.ColdFactor,
+		state: StateStarting, launchedAt: now,
+		readyAt: now + c.StartDelay, warmAt: now + c.StartDelay + c.WarmupDur,
+	}
+	c.nextID++
+	c.servers = append(c.servers, s)
+	return s
+}
+
+// Stop terminates a server immediately (voluntary scale-down).
+func (c *Cluster) Stop(id int, now float64) bool {
+	for _, s := range c.servers {
+		if s.ID == id && s.state != StateTerminated {
+			s.state = StateTerminated
+			s.terminateAt = now
+			return true
+		}
+	}
+	return false
+}
+
+// StopGraceful drains a server: it keeps serving until now + grace and then
+// terminates — the make-before-break used when the portfolio shifts markets,
+// so replacement servers boot and warm up while the old ones still serve.
+func (c *Cluster) StopGraceful(id int, now, grace float64) bool {
+	return c.RevokeWarning(id, now, grace) != nil
+}
+
+// RevokeWarning marks a server as draining: it keeps serving for the
+// warning period and terminates at now + warning.
+func (c *Cluster) RevokeWarning(id int, now, warning float64) *Server {
+	for _, s := range c.servers {
+		if s.ID == id && s.state != StateTerminated {
+			s.state = StateDraining
+			s.terminateAt = now + warning
+			return s
+		}
+	}
+	return nil
+}
+
+// Advance ticks every server's state machine and reaps terminated ones.
+func (c *Cluster) Advance(now float64) {
+	alive := c.servers[:0]
+	for _, s := range c.servers {
+		s.Advance(now)
+		if s.state != StateTerminated {
+			alive = append(alive, s)
+		}
+	}
+	c.servers = alive
+}
+
+// Servers returns the live servers (all states except terminated).
+func (c *Cluster) Servers() []*Server { return c.servers }
+
+// ActiveServers returns servers currently able to serve (warming, running
+// or draining).
+func (c *Cluster) ActiveServers(now float64) []*Server {
+	var out []*Server
+	for _, s := range c.servers {
+		if s.EffectiveCapacity(now) > 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// TotalCapacity returns the summed effective capacity at time now.
+func (c *Cluster) TotalCapacity(now float64) float64 {
+	var sum float64
+	for _, s := range c.servers {
+		sum += s.EffectiveCapacity(now)
+	}
+	return sum
+}
+
+// CountByMarket returns live (non-draining) server counts per market index.
+func (c *Cluster) CountByMarket(numMarkets int) []int {
+	out := make([]int, numMarkets)
+	for _, s := range c.servers {
+		if s.state == StateDraining || s.state == StateTerminated {
+			continue
+		}
+		if s.Market >= 0 && s.Market < numMarkets {
+			out[s.Market]++
+		}
+	}
+	return out
+}
+
+// ServersInMarket returns the non-draining servers bought in a market.
+func (c *Cluster) ServersInMarket(mkt int) []*Server {
+	var out []*Server
+	for _, s := range c.servers {
+		if s.Market == mkt && s.state != StateDraining && s.state != StateTerminated {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// ScaleTo reconciles the cluster toward the target per-market counts:
+// launching where short, draining the youngest surplus servers where long
+// (youngest first keeps warmed-up caches alive). Surplus servers are stopped
+// gracefully with a grace of StartDelay + WarmupDur — make-before-break, so
+// a portfolio shift never drops capacity before replacements are warm.
+// Draining servers do not count toward targets. It returns the numbers
+// launched and stopped.
+func (c *Cluster) ScaleTo(targets []int, capacities []float64, now float64) (started, stopped int) {
+	grace := c.StartDelay + c.WarmupDur
+	current := c.CountByMarket(len(targets))
+	for mkt, want := range targets {
+		have := current[mkt]
+		for ; have < want; have++ {
+			c.Launch(mkt, capacities[mkt], now)
+			started++
+		}
+		if have > want {
+			victims := c.ServersInMarket(mkt)
+			// Stop youngest first.
+			sort.Slice(victims, func(i, j int) bool {
+				return victims[i].launchedAt > victims[j].launchedAt
+			})
+			for k := 0; k < have-want && k < len(victims); k++ {
+				c.StopGraceful(victims[k].ID, now, grace)
+				stopped++
+			}
+		}
+	}
+	return started, stopped
+}
+
+// LatencyModel converts utilization into response times using an M/M/1
+// processor-sharing approximation: T(ρ) = S/(1−ρ) for ρ < 1, capped at
+// MaxLatency. The capacities quoted in the market catalog are *SLO
+// capacities* — the paper defines r_i as the rate a server handles "with no
+// SLA violations" — so the physical saturation rate lies above them: serving
+// exactly at SLO capacity yields a response time of exactly SLOTarget, and
+// load beyond the saturation rate is dropped.
+type LatencyModel struct {
+	// BaseServiceTime is the zero-load response time in seconds (paper's
+	// MediaWiki testbed averages < 0.5 s; default 0.1 s).
+	BaseServiceTime float64
+	// MaxLatency caps the modeled response time (queue timeout), seconds.
+	MaxLatency float64
+	// SLOTarget is the latency at which a server running exactly at its
+	// quoted (SLO) capacity responds (default 1 s, the paper's 99%-ile SLO).
+	SLOTarget float64
+}
+
+// DefaultLatencyModel mirrors the paper's testbed application.
+func DefaultLatencyModel() LatencyModel {
+	return LatencyModel{BaseServiceTime: 0.1, MaxLatency: 5, SLOTarget: 1}
+}
+
+// ResponseTime returns the modeled response time at physical utilization
+// rho (fraction of the saturation rate).
+func (m LatencyModel) ResponseTime(rho float64) float64 {
+	if rho < 0 {
+		rho = 0
+	}
+	if rho >= 1 {
+		return m.MaxLatency
+	}
+	t := m.BaseServiceTime / (1 - rho)
+	return math.Min(t, m.MaxLatency)
+}
+
+// saturation converts an SLO capacity into the physical saturation rate:
+// T(ρ) = SLOTarget at ρ = 1 − S/SLOTarget, so r_sat = r_slo / (1 − S/SLO).
+func (m LatencyModel) saturation(sloCapacity float64) float64 {
+	if m.SLOTarget <= m.BaseServiceTime {
+		return sloCapacity
+	}
+	return sloCapacity / (1 - m.BaseServiceTime/m.SLOTarget)
+}
+
+// Interval evaluates one interval of fluid load against an SLO capacity:
+// returns the served rate, dropped rate, and mean response time of served
+// requests. Load up to the saturation rate is served (at SLO-violating
+// latency once beyond the SLO capacity); the rest is dropped.
+func (m LatencyModel) Interval(offered, sloCapacity float64) (served, dropped, meanLatency float64) {
+	if sloCapacity <= 0 {
+		return 0, offered, m.MaxLatency
+	}
+	sat := m.saturation(sloCapacity)
+	served = math.Min(offered, sat)
+	dropped = offered - served
+	rho := served / sat
+	// Keep rho off the asymptote: a fully loaded fluid server sits at the
+	// latency cap rather than infinity.
+	if rho > 0.999 {
+		rho = 0.999
+	}
+	return served, dropped, m.ResponseTime(rho)
+}

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/predict"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// TraceSummary describes a generated workload trace (Figs. 3(a)/3(b)/4(b)).
+type TraceSummary struct {
+	Name                   string
+	Hours                  int
+	Mean, Peak, P99        float64
+	PeakToMean             float64
+	DiurnalPeakTroughRatio float64
+}
+
+// Fig3Traces generates the two evaluation workloads and prints their shape
+// statistics (the paper plots the raw series; we print the series summary
+// and expose the series for CSV export via cmd/tracegen).
+func Fig3Traces(w io.Writer, opt Options) (wiki, vod *trace.Series, summaries []TraceSummary) {
+	wikiCfg := trace.WikipediaLike(opt.seed())
+	vodCfg := trace.VoDLike(opt.seed() + 1)
+	if opt.Quick {
+		wikiCfg.Days, vodCfg.Days = 7, 7
+	}
+	wiki = wikiCfg.Generate()
+	vod = vodCfg.Generate()
+	for _, s := range []*trace.Series{wiki, vod} {
+		qs := stats.Quantiles(s.Values, 0.5, 0.99, 1.0)
+		var peakHr, troughHr []float64
+		for i, v := range s.Values {
+			switch i % 24 {
+			case 20:
+				peakHr = append(peakHr, v)
+			case 4:
+				troughHr = append(troughHr, v)
+			}
+		}
+		sum := TraceSummary{
+			Name:                   s.Name,
+			Hours:                  s.Len(),
+			Mean:                   stats.Mean(s.Values),
+			Peak:                   qs[2],
+			P99:                    qs[1],
+			PeakToMean:             qs[2] / stats.Mean(s.Values),
+			DiurnalPeakTroughRatio: stats.Mean(peakHr) / stats.Mean(troughHr),
+		}
+		summaries = append(summaries, sum)
+	}
+	summaries[0].Name, summaries[1].Name = "wikipedia-like", "vod-like"
+	fmt.Fprintf(w, "Fig 3: workload traces (3 weeks)\n")
+	fmt.Fprintf(w, "%-16s %6s %10s %10s %10s %10s %14s\n",
+		"trace", "hours", "mean", "p99", "peak", "peak/mean", "diurnal ratio")
+	for _, s := range summaries {
+		fmt.Fprintf(w, "%-16s %6d %10.1f %10.1f %10.1f %10.2f %14.2f\n",
+			s.Name, s.Hours, s.Mean, s.P99, s.Peak, s.PeakToMean, s.DiurnalPeakTroughRatio)
+	}
+	return wiki, vod, summaries
+}
+
+// PaddingResult reproduces §6.2's over-provisioning comparison between the
+// baseline predictor [1] (Fig. 4(c)) and SpotWeb's 99%-CI-padded predictor
+// (Fig. 4(d)).
+type PaddingResult struct {
+	Baseline, SpotWeb predict.EvalResult
+	// Histograms of relative prediction error (the figures' x-axis).
+	BaselineHist, SpotWebHist *stats.Histogram
+	// Normal fits overlaid in the figures.
+	BaselineFit, SpotWebFit stats.NormalFit
+}
+
+// Fig4cd backtests both predictors one-step-ahead on the Wikipedia-like
+// trace and prints the error distributions plus the §6.2 headline numbers
+// (SpotWeb: ≈15% mean over-provisioning, ≈40% max, ≤3.2% max
+// under-provisioning; baseline: much worse under-provisioning).
+func Fig4cd(w io.Writer, opt Options) PaddingResult {
+	cfg := trace.WikipediaLike(opt.seed())
+	if opt.Quick {
+		cfg.Days = 14
+	}
+	s := cfg.Generate()
+	warmup := s.Len() / 3
+	if warmup > 14*24 {
+		warmup = 14 * 24
+	}
+
+	base := predict.NewSplinePredictor(predict.SplineConfig{ARLag1: true}, 1)
+	padded := predict.NewSplinePredictor(predict.SplineConfig{ARLag1: true, CIProb: 0.99}, 1)
+	res := PaddingResult{
+		Baseline: predict.Backtest(base, s, warmup),
+		SpotWeb:  predict.Backtest(padded, s, warmup),
+	}
+	res.BaselineHist = errHistogram(res.Baseline.RelErrors)
+	res.SpotWebHist = errHistogram(res.SpotWeb.RelErrors)
+	res.BaselineFit = stats.FitNormal(res.Baseline.RelErrors)
+	res.SpotWebFit = stats.FitNormal(res.SpotWeb.RelErrors)
+
+	fmt.Fprintf(w, "Fig 4(c)/(d): one-step prediction error distributions (relative; + = over-provision)\n")
+	fmt.Fprintf(w, "%-22s %12s %12s %12s %12s %10s\n",
+		"predictor", "mean over", "max over", "max under", "under frac", "fit mu/sd")
+	for _, row := range []struct {
+		name string
+		r    predict.EvalResult
+		f    stats.NormalFit
+	}{
+		{"baseline [1] (4c)", res.Baseline, res.BaselineFit},
+		{"spotweb 99%-CI (4d)", res.SpotWeb, res.SpotWebFit},
+	} {
+		fmt.Fprintf(w, "%-22s %11.1f%% %11.1f%% %11.1f%% %11.1f%% %5.2f/%.2f\n",
+			row.name, 100*row.r.MeanOver, 100*row.r.MaxOver, 100*row.r.MaxUnder,
+			100*row.r.UnderFraction, row.f.Mu, row.f.Sigma)
+	}
+	printHistogram(w, "Fig 4(c) baseline error histogram", res.BaselineHist)
+	printHistogram(w, "Fig 4(d) spotweb error histogram", res.SpotWebHist)
+	return res
+}
+
+func errHistogram(rel []float64) *stats.Histogram {
+	h := stats.NewHistogram(-0.5, 0.5, 25)
+	for _, e := range rel {
+		h.Observe(e)
+	}
+	return h
+}
+
+func printHistogram(w io.Writer, title string, h *stats.Histogram) {
+	fmt.Fprintf(w, "%s (under<%.2f: %d, over>%.2f: %d)\n", title, h.Lo, h.Under, h.Hi, h.Over)
+	centers := h.BinCenters()
+	dens := h.Densities()
+	for i := range centers {
+		bar := ""
+		for k := 0; k < int(dens[i]*200); k++ {
+			bar += "#"
+		}
+		if h.Counts[i] > 0 {
+			fmt.Fprintf(w, "  %+6.2f %5d %s\n", centers[i], h.Counts[i], bar)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/microsim"
+	"repro/internal/stats"
+)
+
+// Fig4aSimResult is the discrete-event (request-level) rendition of the
+// §6.1 experiment at the paper's full time scale: the same six-server
+// scenario as the wall-clock testbed, but simulated in milliseconds and
+// fully deterministic. It also cross-validates the in-process testbed.
+type Fig4aSimResult struct {
+	AwareBins, VanillaBins []stats.FiveNum
+	AwareDrops             float64
+	VanillaDrops           float64
+	// VanillaPostDrops is the drop fraction after the revoked servers
+	// terminate (paper: 85%).
+	VanillaPostDrops float64
+	// AwareP99 is the overall p99 latency of the aware run (paper: < 1 s
+	// end-to-end).
+	AwareP99 float64
+}
+
+// fig4aSimScenario builds the §6.1 setup at full scale: capacities 1:1
+// (100/200/160 req/s pairs ≈ the m4.xlarge/m4.2xlarge/m2.4xlarge testbed),
+// 600 req/s offered, revocation of the four larger servers at minute 3,
+// replacements booting in 60 s, 120 s warning.
+func fig4aSimScenario(vanilla bool, seed int64) microsim.Config {
+	return microsim.Config{
+		Seed: seed, Duration: 480, Rate: 600, Sessions: 2000,
+		Servers: []microsim.ServerSpec{
+			{Capacity: 100}, {Capacity: 100},
+			{Capacity: 200}, {Capacity: 200}, {Capacity: 160}, {Capacity: 160},
+		},
+		Revocations: []microsim.Revocation{{
+			At:      180,
+			Servers: []int{2, 3, 4, 5},
+			Replacements: []microsim.ServerSpec{
+				{Capacity: 200}, {Capacity: 200}, {Capacity: 160}, {Capacity: 160},
+			},
+			ReplacementDelay: 55,
+		}},
+		Warning: 120,
+		Vanilla: vanilla,
+	}
+}
+
+// Fig4aSim runs both variants and prints the boxplot series.
+func Fig4aSim(w io.Writer, opt Options) Fig4aSimResult {
+	var res Fig4aSimResult
+	run := func(vanilla bool) (*microsim.Result, []stats.FiveNum) {
+		r, err := microsim.Run(fig4aSimScenario(vanilla, opt.seed()))
+		if err != nil {
+			panic(err)
+		}
+		var bins []stats.FiveNum
+		for from := 0.0; from < 480; from += 30 {
+			lats := r.LatenciesBetween(from, from+30)
+			if len(lats) == 0 {
+				bins = append(bins, stats.FiveNum{})
+				continue
+			}
+			bins = append(bins, stats.Summarize(lats))
+		}
+		return r, bins
+	}
+	aware, awareBins := run(false)
+	vanilla, vanillaBins := run(true)
+	res.AwareBins, res.VanillaBins = awareBins, vanillaBins
+	res.AwareDrops = aware.DropFraction()
+	res.VanillaDrops = vanilla.DropFraction()
+	post := vanilla.DropsBetween(310, 480)
+	postServed := len(vanilla.LatenciesBetween(310, 480))
+	if post+postServed > 0 {
+		res.VanillaPostDrops = float64(post) / float64(post+postServed)
+	}
+	if all := aware.LatenciesBetween(0, 480); len(all) > 0 {
+		res.AwareP99 = stats.Quantile(all, 0.99)
+	}
+
+	fmt.Fprintf(w, "Fig 4(a) [discrete-event rendition, full time scale]\n")
+	fmt.Fprintf(w, "%-8s | %-38s | %s\n", "minute", "aware med/p75/max (ms)", "vanilla med/p75/max (ms)")
+	for i := range awareBins {
+		a := awareBins[i]
+		v := stats.FiveNum{}
+		if i < len(vanillaBins) {
+			v = vanillaBins[i]
+		}
+		fmt.Fprintf(w, "%7.1f | %8.1f %8.1f %9.1f (n=%5d) | %8.1f %8.1f %9.1f (n=%5d)\n",
+			float64(i)/2, 1000*a.Median, 1000*a.Q3, 1000*a.Max, a.N,
+			1000*v.Median, 1000*v.Q3, 1000*v.Max, v.N)
+	}
+	fmt.Fprintf(w, "drops: aware %.2f%% vs vanilla %.1f%% (vanilla post-termination %.1f%%)\n",
+		100*res.AwareDrops, 100*res.VanillaDrops, 100*res.VanillaPostDrops)
+	fmt.Fprintf(w, "aware p99 latency end-to-end: %.0f ms (paper: < 1 s)\n", 1000*res.AwareP99)
+	return res
+}

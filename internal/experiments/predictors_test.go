@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"io"
+	"testing"
+)
+
+func TestPredictorComparison(t *testing.T) {
+	res := PredictorComparison(io.Discard, quick)
+	if len(res.Rows) < 6 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	var spline, reactive PredictorRow
+	for _, r := range res.Rows {
+		switch r.Name {
+		case "spline-nopad":
+			spline = r
+		case "reactive":
+			reactive = r
+		}
+		for tn, m := range r.MAPE {
+			if m <= 0 || m > 1.5 {
+				t.Fatalf("%s on %s: MAPE %v implausible", r.Name, tn, m)
+			}
+		}
+		// 99%-CI padding tames under-provisioning for every predictor.
+		if r.PaddedUnderFrac > 0.12 {
+			t.Fatalf("%s: padded under-fraction %v too high", r.Name, r.PaddedUnderFrac)
+		}
+	}
+	// The paper's predictor dominates on the diurnal trace it was built for.
+	if spline.MAPE["wiki"] >= reactive.MAPE["wiki"] {
+		t.Fatalf("spline %v should beat reactive %v on wiki",
+			spline.MAPE["wiki"], reactive.MAPE["wiki"])
+	}
+	// And §4.3's caveat: no single predictor wins everywhere — the spline
+	// must NOT dominate on the regime-switching bursty trace.
+	bestBursty := spline.MAPE["bursty"]
+	for _, r := range res.Rows {
+		if r.MAPE["bursty"] < bestBursty {
+			bestBursty = r.MAPE["bursty"]
+		}
+	}
+	if bestBursty >= spline.MAPE["bursty"] {
+		t.Fatal("expected some predictor to beat the spline on the bursty trace")
+	}
+}

@@ -1,0 +1,53 @@
+package lb
+
+import (
+	"strconv"
+	"testing"
+)
+
+func BenchmarkSmoothWRRNext(b *testing.B) {
+	for _, n := range []int{4, 32, 256} {
+		b.Run(strconv.Itoa(n), func(b *testing.B) {
+			w := NewSmoothWRR()
+			for i := 0; i < n; i++ {
+				w.SetWeight(i, float64(1+i%7))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.Next()
+			}
+		})
+	}
+}
+
+func BenchmarkBalancerRoute(b *testing.B) {
+	bal := NewBalancer()
+	weights := map[int]float64{}
+	for i := 0; i < 16; i++ {
+		weights[i] = float64(1 + i%5)
+	}
+	bal.UpdatePortfolio(weights)
+	b.Run("anonymous", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			bal.Route("")
+		}
+	})
+	b.Run("session", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			bal.Route("s" + strconv.Itoa(i%100))
+		}
+	})
+}
+
+func BenchmarkSessionMigration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		bal := NewBalancer()
+		bal.UpdatePortfolio(map[int]float64{1: 1, 2: 1, 3: 1})
+		for s := 0; s < 1000; s++ {
+			bal.Route("s" + strconv.Itoa(s))
+		}
+		b.StartTimer()
+		bal.HandleWarning(1, 0.5, 60, 120)
+	}
+}

@@ -1,0 +1,86 @@
+package lb
+
+import (
+	"math"
+	"sync"
+)
+
+// LeastLoaded is a heterogeneity-aware least-utilization scheduler in the
+// spirit of the paper's reference [13] (HALO: Heterogeneity-Aware Load
+// Balancing): each backend advertises a capacity, the balancer tracks
+// outstanding requests, and each pick goes to the backend with the lowest
+// outstanding/capacity ratio. Compared to WRR it adapts to in-flight load
+// imbalance (slow backends accumulate outstanding work and stop receiving),
+// at the price of requiring completion callbacks. It is safe for concurrent
+// use.
+type LeastLoaded struct {
+	mu       sync.Mutex
+	capacity map[int]float64
+	inflight map[int]int
+}
+
+// NewLeastLoaded returns an empty scheduler.
+func NewLeastLoaded() *LeastLoaded {
+	return &LeastLoaded{capacity: map[int]float64{}, inflight: map[int]int{}}
+}
+
+// SetCapacity registers or updates a backend.
+func (l *LeastLoaded) SetCapacity(id int, capacity float64) {
+	if capacity < 0 {
+		panic("lb: negative capacity")
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.capacity[id] = capacity
+}
+
+// Remove deletes a backend; outstanding counts for it are discarded.
+func (l *LeastLoaded) Remove(id int) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.capacity[id]; !ok {
+		return false
+	}
+	delete(l.capacity, id)
+	delete(l.inflight, id)
+	return true
+}
+
+// Acquire picks the backend with the lowest utilization proxy and increments
+// its outstanding count. Call Release when the request completes.
+func (l *LeastLoaded) Acquire() (id int, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	best := -1
+	bestScore := math.Inf(1)
+	for b, cap := range l.capacity {
+		if cap <= 0 {
+			continue
+		}
+		score := float64(l.inflight[b]+1) / cap
+		if score < bestScore || (score == bestScore && b < best) {
+			best, bestScore = b, score
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	l.inflight[best]++
+	return best, true
+}
+
+// Release marks one request on the backend as complete.
+func (l *LeastLoaded) Release(id int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.inflight[id] > 0 {
+		l.inflight[id]--
+	}
+}
+
+// Outstanding returns the current in-flight count for a backend.
+func (l *LeastLoaded) Outstanding(id int) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inflight[id]
+}

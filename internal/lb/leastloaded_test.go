@@ -1,0 +1,124 @@
+package lb
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestLeastLoadedPrefersIdleCapacity(t *testing.T) {
+	l := NewLeastLoaded()
+	l.SetCapacity(1, 100)
+	l.SetCapacity(2, 100)
+	id1, ok := l.Acquire()
+	if !ok {
+		t.Fatal("acquire failed")
+	}
+	id2, _ := l.Acquire()
+	if id1 == id2 {
+		t.Fatalf("second pick should go to the idle backend: %d then %d", id1, id2)
+	}
+	// Release one and the next pick returns there.
+	l.Release(id1)
+	id3, _ := l.Acquire()
+	if id3 != id1 {
+		t.Fatalf("pick after release = %d, want %d", id3, id1)
+	}
+}
+
+func TestLeastLoadedHeterogeneityAware(t *testing.T) {
+	// A 4:1 capacity split should receive ~4:1 of concurrent work.
+	l := NewLeastLoaded()
+	l.SetCapacity(1, 400)
+	l.SetCapacity(2, 100)
+	counts := map[int]int{}
+	for i := 0; i < 100; i++ { // all in flight simultaneously
+		id, ok := l.Acquire()
+		if !ok {
+			t.Fatal("acquire failed")
+		}
+		counts[id]++
+	}
+	if counts[1] < 75 || counts[1] > 85 {
+		t.Fatalf("counts = %v, want ≈80:20", counts)
+	}
+}
+
+func TestLeastLoadedSlowBackendBacksOff(t *testing.T) {
+	// Equal capacities, but backend 2 never completes requests: new work
+	// must flow to backend 1.
+	l := NewLeastLoaded()
+	l.SetCapacity(1, 100)
+	l.SetCapacity(2, 100)
+	for i := 0; i < 10; i++ {
+		id, _ := l.Acquire()
+		if id == 1 {
+			l.Release(1) // backend 1 completes instantly
+		}
+	}
+	// Backend 2 has piled up outstanding work; next picks avoid it.
+	for i := 0; i < 5; i++ {
+		id, _ := l.Acquire()
+		if id != 1 {
+			t.Fatalf("pick %d went to the stuck backend", i)
+		}
+		l.Release(1)
+	}
+}
+
+func TestLeastLoadedRemoveAndEmpty(t *testing.T) {
+	l := NewLeastLoaded()
+	if _, ok := l.Acquire(); ok {
+		t.Fatal("empty scheduler should fail")
+	}
+	l.SetCapacity(1, 10)
+	if !l.Remove(1) || l.Remove(1) {
+		t.Fatal("Remove semantics broken")
+	}
+	l.SetCapacity(2, 0)
+	if _, ok := l.Acquire(); ok {
+		t.Fatal("zero-capacity backend must not be picked")
+	}
+}
+
+func TestLeastLoadedReleaseUnderflow(t *testing.T) {
+	l := NewLeastLoaded()
+	l.SetCapacity(1, 10)
+	l.Release(1) // must not go negative
+	if l.Outstanding(1) != 0 {
+		t.Fatalf("outstanding = %d", l.Outstanding(1))
+	}
+}
+
+func TestLeastLoadedNegativeCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewLeastLoaded().SetCapacity(1, -5)
+}
+
+func TestLeastLoadedConcurrent(t *testing.T) {
+	l := NewLeastLoaded()
+	for i := 0; i < 8; i++ {
+		l.SetCapacity(i, float64(10*(i+1)))
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				if id, ok := l.Acquire(); ok {
+					l.Release(id)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < 8; i++ {
+		if l.Outstanding(i) != 0 {
+			t.Fatalf("backend %d leaked %d outstanding", i, l.Outstanding(i))
+		}
+	}
+}

@@ -1,0 +1,317 @@
+package lb
+
+import (
+	"sync"
+)
+
+// RevocationAction is the load balancer's response to a revocation warning
+// (§6.1's three scenarios).
+type RevocationAction int
+
+const (
+	// ActionRedistribute — utilization is low/medium: migrate sessions to
+	// the remaining servers; no SLO impact.
+	ActionRedistribute RevocationAction = iota
+	// ActionReprovision — utilization is high but replacements can start
+	// within the warning period: start new servers, then migrate.
+	ActionReprovision
+	// ActionAdmissionControl — utilization is high and replacements cannot
+	// start in time: migrate what fits and drop/delay the excess to protect
+	// the remaining servers.
+	ActionAdmissionControl
+)
+
+// String implements fmt.Stringer.
+func (a RevocationAction) String() string {
+	switch a {
+	case ActionRedistribute:
+		return "redistribute"
+	case ActionReprovision:
+		return "reprovision"
+	default:
+		return "admission_control"
+	}
+}
+
+// DecideRevocation applies the paper's decision procedure. utilization is
+// the cluster-wide utilization after losing the revoked capacity (served
+// load / remaining capacity); highUtil is the threshold above which the
+// remaining servers cannot absorb the load (paper keeps the testbed between
+// 70 and 95%); startDelay and warning are in the same time unit.
+func DecideRevocation(utilization, highUtil, startDelay, warning float64) RevocationAction {
+	if utilization <= highUtil {
+		return ActionRedistribute
+	}
+	if startDelay < warning {
+		return ActionReprovision
+	}
+	return ActionAdmissionControl
+}
+
+// SessionTable tracks sticky user sessions → backend assignments and
+// supports the bulk migration the transiency-aware LB performs during the
+// warning period. It is safe for concurrent use.
+type SessionTable struct {
+	mu sync.Mutex
+	m  map[string]int
+}
+
+// NewSessionTable returns an empty table.
+func NewSessionTable() *SessionTable { return &SessionTable{m: make(map[string]int)} }
+
+// Assign binds a session to a backend.
+func (t *SessionTable) Assign(session string, backend int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.m[session] = backend
+}
+
+// Lookup returns the backend a session is bound to.
+func (t *SessionTable) Lookup(session string) (int, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b, ok := t.m[session]
+	return b, ok
+}
+
+// End removes a session.
+func (t *SessionTable) End(session string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.m, session)
+}
+
+// Len returns the number of live sessions.
+func (t *SessionTable) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.m)
+}
+
+// CountOn returns the number of sessions bound to a backend.
+func (t *SessionTable) CountOn(backend int) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, b := range t.m {
+		if b == backend {
+			n++
+		}
+	}
+	return n
+}
+
+// MigrateAll rebinds every session on `from` using pick to choose new
+// backends; sessions for which pick fails stay put (they will be dropped at
+// termination). Returns the number migrated.
+func (t *SessionTable) MigrateAll(from int, pick func() (int, bool)) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for s, b := range t.m {
+		if b != from {
+			continue
+		}
+		if nb, ok := pick(); ok && nb != from {
+			t.m[s] = nb
+			n++
+		}
+	}
+	return n
+}
+
+// Balancer is the transiency-aware load balancer: smooth WRR routing with
+// portfolio-driven weights, revocation-warning handling and admission
+// control. The Vanilla flag disables all transiency awareness, reproducing
+// the unmodified-HAProxy baseline (keeps routing to revoked servers until
+// they disappear).
+type Balancer struct {
+	WRR      *SmoothWRR
+	Sessions *SessionTable
+	// HighUtil is the utilization threshold for the revocation decision.
+	HighUtil float64
+	// Vanilla disables transiency awareness.
+	Vanilla bool
+
+	mu sync.Mutex
+	// draining backends are fully out of rotation (survivors have
+	// headroom); soft backends keep taking sessionless requests until they
+	// terminate, because pulling them early would overload the survivors
+	// while replacements boot (§4.4's high-utilization case).
+	draining map[int]bool
+	soft     map[int]bool
+}
+
+// NewBalancer returns a transiency-aware balancer with the paper's defaults.
+func NewBalancer() *Balancer {
+	return &Balancer{
+		WRR:      NewSmoothWRR(),
+		Sessions: NewSessionTable(),
+		HighUtil: 0.85,
+		draining: make(map[int]bool),
+		soft:     make(map[int]bool),
+	}
+}
+
+// UpdatePortfolio resets backend weights after a new portfolio is chosen
+// (the optimizer → LB REST call in the paper). Weights are the relative
+// market weights; backends absent from the map are removed.
+func (b *Balancer) UpdatePortfolio(weights map[int]float64) {
+	for _, id := range b.WRR.Backends() {
+		if _, ok := weights[id]; !ok {
+			b.WRR.Remove(id)
+			b.mu.Lock()
+			delete(b.draining, id)
+			b.mu.Unlock()
+		}
+	}
+	for id, w := range weights {
+		b.WRR.SetWeight(id, w)
+	}
+}
+
+// Route picks a backend for a request. A sticky session is honored while its
+// backend remains routable. Hard-draining backends never receive requests.
+// Soft-draining backends (high-utilization revocations, §4.4) keep serving
+// their existing sessions and sessionless traffic through the warning period
+// — pulling that load early would overwhelm the already-hot survivors — but
+// are never assigned new sessions. ok is false when the request must be
+// dropped.
+func (b *Balancer) Route(session string) (backend int, ok bool) {
+	b.mu.Lock()
+	hard := make(map[int]bool, len(b.draining))
+	for k := range b.draining {
+		hard[k] = true
+	}
+	full := make(map[int]bool, len(b.draining)+len(b.soft))
+	for k := range b.draining {
+		full[k] = true
+	}
+	for k := range b.soft {
+		full[k] = true
+	}
+	b.mu.Unlock()
+
+	if session != "" {
+		if cur, found := b.Sessions.Lookup(session); found {
+			// Existing sessions stay put unless the backend is hard-drained
+			// (vanilla mode keeps using even revoked backends).
+			if b.Vanilla || !hard[cur] {
+				return cur, true
+			}
+		}
+	}
+	var id int
+	var found bool
+	switch {
+	case b.Vanilla:
+		id, found = b.WRR.Next()
+	case session != "":
+		// New session bindings avoid both hard- and soft-draining backends.
+		id, found = b.WRR.NextExcluding(full)
+	default:
+		id, found = b.WRR.NextExcluding(hard)
+	}
+	if !found {
+		return 0, false
+	}
+	if session != "" {
+		b.Sessions.Assign(session, id)
+	}
+	return id, true
+}
+
+// HandleWarning processes a revocation warning for a backend: decides the
+// action from the current utilization, marks the backend draining, migrates
+// its sessions to the remaining servers, and returns the action taken plus
+// the number of sessions migrated. In vanilla mode the warning is ignored
+// (action ActionAdmissionControl, 0 migrated) — the baseline behaviour.
+func (b *Balancer) HandleWarning(backend int, utilization, startDelay, warning float64) (RevocationAction, int) {
+	if b.Vanilla {
+		return ActionAdmissionControl, 0
+	}
+	action := DecideRevocation(utilization, b.HighUtil, startDelay, warning)
+	b.mu.Lock()
+	if action == ActionRedistribute {
+		// Survivors can absorb the load: pull the backend out entirely.
+		b.draining[backend] = true
+	} else {
+		// Survivors are hot: keep the backend serving its sessions through
+		// the warning period while replacements boot; sessions migrate when
+		// the replacements are routable (MigrateOff) or at the latest just
+		// before termination (CompleteDrain).
+		b.soft[backend] = true
+	}
+	b.mu.Unlock()
+	migrated := 0
+	if action == ActionRedistribute {
+		migrated = b.MigrateOff(backend)
+	}
+	return action, migrated
+}
+
+// MigrateOff moves every session bound to a backend onto non-draining
+// backends — invoked when the survivors have headroom (redistribute) or once
+// replacement capacity becomes routable (reprovision). Placement is
+// load-aware: each session goes to the backend with the fewest bound
+// sessions per unit of weight, so survivors that already carry sessions are
+// not overloaded by the influx. Returns the number migrated.
+func (b *Balancer) MigrateOff(backend int) int {
+	b.mu.Lock()
+	exclude := make(map[int]bool, len(b.draining)+len(b.soft))
+	for k := range b.draining {
+		exclude[k] = true
+	}
+	for k := range b.soft {
+		exclude[k] = true
+	}
+	b.mu.Unlock()
+
+	weights := b.WRR.Weights()
+	type target struct {
+		id     int
+		weight float64
+		bound  int
+	}
+	var targets []target
+	for id, w := range weights {
+		if w <= 0 || exclude[id] || id == backend {
+			continue
+		}
+		targets = append(targets, target{id: id, weight: w, bound: b.Sessions.CountOn(id)})
+	}
+	if len(targets) == 0 {
+		return 0
+	}
+	return b.Sessions.MigrateAll(backend, func() (int, bool) {
+		best := -1
+		bestScore := 0.0
+		for i, tg := range targets {
+			score := float64(tg.bound+1) / tg.weight
+			if best == -1 || score < bestScore {
+				best, bestScore = i, score
+			}
+		}
+		targets[best].bound++
+		return targets[best].id, true
+	})
+}
+
+// CompleteDrain migrates any sessions still bound to a drained backend (the
+// paper's seamless switch-over happens within the warning period, before the
+// server terminates) and removes it from rotation.
+func (b *Balancer) CompleteDrain(backend int) {
+	b.MigrateOff(backend)
+	b.WRR.Remove(backend)
+	b.mu.Lock()
+	delete(b.draining, backend)
+	delete(b.soft, backend)
+	b.mu.Unlock()
+}
+
+// Draining reports whether a backend is draining (hard or soft).
+func (b *Balancer) Draining(backend int) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.draining[backend] || b.soft[backend]
+}

@@ -1,0 +1,161 @@
+// Package lb implements SpotWeb's transiency-aware load balancer (§4.4):
+// a smooth weighted-round-robin scheduler whose weights can be reset online
+// as the portfolio changes (the paper's HAProxy wrapper), a session table
+// supporting bulk migration off revoked servers, and the revocation decision
+// logic (§6.1's three scenarios: redistribute, reprovision within the
+// warning period, or admission-control). A vanilla (transiency-unaware) mode
+// reproduces the paper's unmodified-HAProxy baseline.
+package lb
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// SmoothWRR is a smooth weighted round robin scheduler (the algorithm used
+// by nginx/HAProxy): each pick adds every backend's weight to its current
+// score, selects the highest, and subtracts the total weight from the
+// winner. This interleaves backends proportionally to weight without bursts,
+// and supports online weight updates. It is safe for concurrent use.
+type SmoothWRR struct {
+	mu      sync.Mutex
+	entries []*wrrEntry
+}
+
+type wrrEntry struct {
+	id      int
+	weight  float64
+	current float64
+}
+
+// NewSmoothWRR returns an empty scheduler.
+func NewSmoothWRR() *SmoothWRR { return &SmoothWRR{} }
+
+// SetWeight adds or updates a backend. A weight of 0 keeps the backend
+// registered but never selected.
+func (w *SmoothWRR) SetWeight(id int, weight float64) {
+	if weight < 0 {
+		panic(fmt.Sprintf("lb: negative weight %v for backend %d", weight, id))
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, e := range w.entries {
+		if e.id == id {
+			e.weight = weight
+			return
+		}
+	}
+	w.entries = append(w.entries, &wrrEntry{id: id, weight: weight})
+}
+
+// Remove deletes a backend. It reports whether the backend existed.
+func (w *SmoothWRR) Remove(id int) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for i, e := range w.entries {
+		if e.id == id {
+			w.entries = append(w.entries[:i], w.entries[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Next picks the next backend. ok is false when no backend has positive
+// weight.
+func (w *SmoothWRR) Next() (id int, ok bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var total float64
+	var best *wrrEntry
+	for _, e := range w.entries {
+		if e.weight <= 0 {
+			continue
+		}
+		e.current += e.weight
+		total += e.weight
+		if best == nil || e.current > best.current {
+			best = e
+		}
+	}
+	if best == nil {
+		return 0, false
+	}
+	best.current -= total
+	return best.id, true
+}
+
+// NextExcluding picks the next backend skipping the given ids (used to avoid
+// a draining server).
+func (w *SmoothWRR) NextExcluding(exclude map[int]bool) (id int, ok bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var total float64
+	var best *wrrEntry
+	for _, e := range w.entries {
+		if e.weight <= 0 || exclude[e.id] {
+			continue
+		}
+		e.current += e.weight
+		total += e.weight
+		if best == nil || e.current > best.current {
+			best = e
+		}
+	}
+	if best == nil {
+		return 0, false
+	}
+	best.current -= total
+	return best.id, true
+}
+
+// Weights returns a copy of the current backend weights.
+func (w *SmoothWRR) Weights() map[int]float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make(map[int]float64, len(w.entries))
+	for _, e := range w.entries {
+		out[e.id] = e.weight
+	}
+	return out
+}
+
+// Shares returns each backend's normalized weight fraction; backends with
+// zero weight are included with share 0.
+func (w *SmoothWRR) Shares() map[int]float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var total float64
+	for _, e := range w.entries {
+		total += e.weight
+	}
+	out := make(map[int]float64, len(w.entries))
+	for _, e := range w.entries {
+		if total > 0 {
+			out[e.id] = e.weight / total
+		} else {
+			out[e.id] = 0
+		}
+	}
+	return out
+}
+
+// Backends returns the registered backend ids in ascending order.
+func (w *SmoothWRR) Backends() []int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]int, 0, len(w.entries))
+	for _, e := range w.entries {
+		out = append(out, e.id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Len returns the number of registered backends.
+func (w *SmoothWRR) Len() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.entries)
+}

@@ -1,0 +1,179 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNotPositiveDefinite is returned by Cholesky when the input matrix is not
+// (numerically) symmetric positive definite.
+var ErrNotPositiveDefinite = errors.New("linalg: matrix is not positive definite")
+
+// ErrSingular is returned by LDL when a pivot is too close to zero.
+var ErrSingular = errors.New("linalg: matrix is singular or near-singular")
+
+// CholeskyFactor holds the lower-triangular factor L with A = L·Lᵀ.
+type CholeskyFactor struct {
+	n int
+	l *Matrix // lower triangular, including diagonal
+}
+
+// Cholesky computes the Cholesky factorization of the symmetric positive
+// definite matrix a. Only the lower triangle of a is read.
+func Cholesky(a *Matrix) (*CholeskyFactor, error) {
+	if a.Rows != a.Cols {
+		return nil, errors.New("linalg: Cholesky of non-square matrix")
+	}
+	n := a.Rows
+	l := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		lrowj := l.Data[j*n : j*n+j]
+		for _, x := range lrowj {
+			d -= x * x
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, ErrNotPositiveDefinite
+		}
+		ljj := math.Sqrt(d)
+		l.Set(j, j, ljj)
+		inv := 1 / ljj
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			lrowi := l.Data[i*n : i*n+j]
+			for k, x := range lrowi {
+				s -= x * lrowj[k]
+			}
+			l.Set(i, j, s*inv)
+		}
+	}
+	return &CholeskyFactor{n: n, l: l}, nil
+}
+
+// Solve solves A·x = b and writes the solution into dst (which may alias b).
+// It returns dst.
+func (c *CholeskyFactor) Solve(b, dst Vector) Vector {
+	if len(b) != c.n || len(dst) != c.n {
+		panic("linalg: Cholesky Solve dimension mismatch")
+	}
+	if &b[0] != &dst[0] {
+		copy(dst, b)
+	}
+	n, l := c.n, c.l
+	// Forward solve L·y = b.
+	for i := 0; i < n; i++ {
+		s := dst[i]
+		row := l.Data[i*n : i*n+i]
+		for k, x := range row {
+			s -= x * dst[k]
+		}
+		dst[i] = s / l.Data[i*n+i]
+	}
+	// Back solve Lᵀ·x = y.
+	for i := n - 1; i >= 0; i-- {
+		s := dst[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.Data[k*n+i] * dst[k]
+		}
+		dst[i] = s / l.Data[i*n+i]
+	}
+	return dst
+}
+
+// LDLFactor holds the factorization A = L·D·Lᵀ of a symmetric (possibly
+// indefinite, but with nonzero pivots) matrix, as produced by LDL. L is unit
+// lower triangular and D is diagonal. This is the factorization used for the
+// quasi-definite KKT systems arising in the ADMM QP solver.
+type LDLFactor struct {
+	n int
+	l *Matrix
+	d Vector
+}
+
+// LDL computes the LDLᵀ factorization without pivoting. This is numerically
+// safe for quasi-definite matrices (positive definite upper-left block,
+// negative definite lower-right block), which is exactly the KKT structure
+// the QP solver produces. pivotTol guards against breakdown; pass 0 for the
+// default.
+func LDL(a *Matrix, pivotTol float64) (*LDLFactor, error) {
+	if a.Rows != a.Cols {
+		return nil, errors.New("linalg: LDL of non-square matrix")
+	}
+	if pivotTol <= 0 {
+		pivotTol = 1e-13
+	}
+	n := a.Rows
+	l := Identity(n)
+	d := NewVector(n)
+	// v[k] scratch = L(j,k)*d[k]
+	v := NewVector(n)
+	for j := 0; j < n; j++ {
+		lrowj := l.Data[j*n : j*n+j]
+		for k := 0; k < j; k++ {
+			v[k] = lrowj[k] * d[k]
+		}
+		dj := a.At(j, j)
+		for k := 0; k < j; k++ {
+			dj -= lrowj[k] * v[k]
+		}
+		if math.Abs(dj) < pivotTol || math.IsNaN(dj) {
+			return nil, ErrSingular
+		}
+		d[j] = dj
+		inv := 1 / dj
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			lrowi := l.Data[i*n : i*n+j]
+			for k, x := range lrowi {
+				s -= x * v[k]
+			}
+			l.Set(i, j, s*inv)
+		}
+	}
+	return &LDLFactor{n: n, l: l, d: d}, nil
+}
+
+// Solve solves A·x = b into dst (may alias b) and returns dst.
+func (f *LDLFactor) Solve(b, dst Vector) Vector {
+	if len(b) != f.n || len(dst) != f.n {
+		panic("linalg: LDL Solve dimension mismatch")
+	}
+	if &b[0] != &dst[0] {
+		copy(dst, b)
+	}
+	n, l := f.n, f.l
+	// L·y = b (unit diagonal).
+	for i := 0; i < n; i++ {
+		s := dst[i]
+		row := l.Data[i*n : i*n+i]
+		for k, x := range row {
+			s -= x * dst[k]
+		}
+		dst[i] = s
+	}
+	// D·z = y.
+	for i := 0; i < n; i++ {
+		dst[i] /= f.d[i]
+	}
+	// Lᵀ·x = z.
+	for i := n - 1; i >= 0; i-- {
+		s := dst[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.Data[k*n+i] * dst[k]
+		}
+		dst[i] = s
+	}
+	return dst
+}
+
+// SolveSPD is a convenience helper that factors a (symmetric positive
+// definite) and solves a·x = b, returning a freshly allocated solution.
+func SolveSPD(a *Matrix, b Vector) (Vector, error) {
+	f, err := Cholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	x := NewVector(len(b))
+	f.Solve(b, x)
+	return x, nil
+}

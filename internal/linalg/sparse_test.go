@@ -1,0 +1,181 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCSRMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for iter := 0; iter < 50; iter++ {
+		rows := 1 + rng.Intn(20)
+		cols := 1 + rng.Intn(20)
+		m := NewMatrix(rows, cols)
+		for i := range m.Data {
+			if rng.Float64() < 0.3 { // sparse fill
+				m.Data[i] = rng.NormFloat64()
+			}
+		}
+		c := NewCSRFromDense(m, 0)
+		x := NewVector(cols)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		want := NewVector(rows)
+		m.MulVec(x, want)
+		got := NewVector(rows)
+		c.MulVec(x, got)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-12 {
+				t.Fatalf("iter %d: CSR MulVec mismatch at %d", iter, i)
+			}
+		}
+		// Round trip.
+		back := c.Dense()
+		for i := range m.Data {
+			if back.Data[i] != m.Data[i] {
+				t.Fatalf("iter %d: Dense round trip mismatch", iter)
+			}
+		}
+	}
+}
+
+func TestCSRThreshold(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 1)
+	m.Set(0, 1, 0.001)
+	m.Set(1, 1, 2)
+	c := NewCSRFromDense(m, 0.01)
+	if c.NNZ() != 2 {
+		t.Fatalf("NNZ = %d, want 2 (small entry dropped)", c.NNZ())
+	}
+	if c.At(0, 1) != 0 || c.At(0, 0) != 1 || c.At(1, 1) != 2 {
+		t.Fatal("At broken")
+	}
+}
+
+func TestCSRShapePanics(t *testing.T) {
+	c := NewCSRFromDense(Identity(2), 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.MulVec(NewVector(3), NewVector(2))
+}
+
+func TestFactorModelMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	n, k := 10, 3
+	f := NewMatrix(n, k)
+	for i := range f.Data {
+		f.Data[i] = rng.NormFloat64()
+	}
+	d := NewVector(n)
+	for i := range d {
+		d[i] = 0.1 + rng.Float64()
+	}
+	fm := &FactorModel{D: d, F: f}
+	if fm.Dim() != n {
+		t.Fatalf("Dim = %d", fm.Dim())
+	}
+	dense := fm.Dense()
+	for trial := 0; trial < 20; trial++ {
+		x := NewVector(n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		want := NewVector(n)
+		dense.MulVec(x, want)
+		got := NewVector(n)
+		fm.MulVec(x, got)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				t.Fatalf("FactorModel MulVec mismatch at %d: %v vs %v", i, got[i], want[i])
+			}
+		}
+		if qf := fm.QuadForm(x); math.Abs(qf-dense.QuadForm(x)) > 1e-9 {
+			t.Fatalf("QuadForm mismatch")
+		}
+		if fm.QuadForm(x) < 0 {
+			t.Fatal("factor model must be PSD")
+		}
+	}
+}
+
+func TestFactorModelNoFactors(t *testing.T) {
+	fm := &FactorModel{D: Vector{2, 3}, F: NewMatrix(2, 0)}
+	x := Vector{1, 1}
+	dst := NewVector(2)
+	fm.MulVec(x, dst)
+	if dst[0] != 2 || dst[1] != 3 {
+		t.Fatalf("diagonal-only MulVec = %v", dst)
+	}
+	fm2 := &FactorModel{D: Vector{1}}
+	dst2 := NewVector(1)
+	fm2.MulVec(Vector{5}, dst2)
+	if dst2[0] != 5 {
+		t.Fatalf("nil F MulVec = %v", dst2)
+	}
+}
+
+func TestTopEigenpairsDiagonal(t *testing.T) {
+	// Diagonal matrix: eigenpairs known exactly.
+	d := NewMatrix(5, 5)
+	diag := []float64{10, 7, 3, 1, 0.5}
+	for i, v := range diag {
+		d.Set(i, i, v)
+	}
+	apply := func(x, dst Vector) { d.MulVec(x, dst) }
+	vals, vecs := TopEigenpairs(apply, 5, 3, 300)
+	for c, want := range []float64{10, 7, 3} {
+		if math.Abs(vals[c]-want) > 1e-6 {
+			t.Fatalf("eigenvalue %d = %v, want %v", c, vals[c], want)
+		}
+		// Eigenvector concentrates on coordinate c.
+		if math.Abs(math.Abs(vecs.At(c, c))-1) > 1e-4 {
+			t.Fatalf("eigenvector %d not axis-aligned: %v", c, vecs.At(c, c))
+		}
+	}
+	// Orthonormality of the computed vectors.
+	for a := 0; a < 3; a++ {
+		for b := 0; b < 3; b++ {
+			var dot float64
+			for i := 0; i < 5; i++ {
+				dot += vecs.At(i, a) * vecs.At(i, b)
+			}
+			want := 0.0
+			if a == b {
+				want = 1
+			}
+			if math.Abs(dot-want) > 1e-6 {
+				t.Fatalf("vecs not orthonormal: (%d,%d) = %v", a, b, dot)
+			}
+		}
+	}
+}
+
+func TestTopEigenpairsLowRankRecovery(t *testing.T) {
+	// M = u·uᵀ rank-1: the top eigenpair must capture it.
+	rng := rand.New(rand.NewSource(53))
+	n := 8
+	u := NewVector(n)
+	for i := range u {
+		u[i] = rng.NormFloat64()
+	}
+	nrm2 := u.Dot(u)
+	apply := func(x, dst Vector) {
+		s := u.Dot(x)
+		for i := range dst {
+			dst[i] = s * u[i]
+		}
+	}
+	vals, _ := TopEigenpairs(apply, n, 2, 200)
+	if math.Abs(vals[0]-nrm2) > 1e-6*nrm2 {
+		t.Fatalf("top eigenvalue %v, want %v", vals[0], nrm2)
+	}
+	if vals[1] > 1e-6*nrm2 {
+		t.Fatalf("second eigenvalue %v should vanish for rank-1", vals[1])
+	}
+}

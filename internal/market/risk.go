@@ -1,0 +1,108 @@
+package market
+
+import (
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// SparseCovariance estimates M like CovarianceMatrix and then drops entries
+// with magnitude ≤ tol·max|M| — the cross-group covariances are near zero,
+// so the result has O(N·groupsize) nonzeros and the optimizer's risk matvec
+// becomes near-linear in the market count.
+func (c *Catalog) SparseCovariance(t, window int, tol float64) *linalg.CSR {
+	dense := c.CovarianceMatrix(t, window)
+	var maxAbs float64
+	for _, v := range dense.Data {
+		if v > maxAbs {
+			maxAbs = v
+		} else if -v > maxAbs {
+			maxAbs = -v
+		}
+	}
+	if tol <= 0 {
+		tol = 0.01
+	}
+	return linalg.NewCSRFromDense(dense, tol*maxAbs)
+}
+
+// FactorCovariance estimates a k-factor model M ≈ diag(D) + F·Fᵀ from the
+// failure-probability series over the trailing window: the k leading
+// principal components of the sample covariance become the factor loadings
+// and the diagonal residual becomes the idiosyncratic variance. Applying the
+// model costs O(N·k) — the standard structured-covariance trick from
+// portfolio optimization, matching the group structure of spot-market
+// revocations (one factor per correlated demand pool).
+func (c *Catalog) FactorCovariance(t, window, k int) *linalg.FactorModel {
+	n := c.Len()
+	lo := t - window
+	if lo < 0 {
+		lo = 0
+	}
+	rows := t - lo
+	if rows < 2 || k < 1 {
+		// Not enough history: diagonal prior, no factors.
+		d := linalg.NewVector(n)
+		for i, mk := range c.Markets {
+			f := mk.FailProbAt(t)
+			d[i] = f*f + 1e-6
+		}
+		return &linalg.FactorModel{D: d, F: linalg.NewMatrix(n, 0)}
+	}
+	if k > n {
+		k = n
+	}
+	// Demeaned data matrix X (rows × n).
+	x := linalg.NewMatrix(rows, n)
+	for j, mk := range c.Markets {
+		var mean float64
+		for i := 0; i < rows; i++ {
+			mean += mk.FailProbAt(lo + i)
+		}
+		mean /= float64(rows)
+		for i := 0; i < rows; i++ {
+			x.Set(i, j, mk.FailProbAt(lo+i)-mean)
+		}
+	}
+	inv := 1 / float64(rows-1)
+	// Covariance applied matrix-free: C·v = Xᵀ(X·v)/(rows−1).
+	tmp := linalg.NewVector(rows)
+	apply := func(v, dst linalg.Vector) {
+		x.MulVec(v, tmp)
+		x.MulVecT(tmp, dst)
+		dst.Scale(inv)
+	}
+	vals, vecs := linalg.TopEigenpairs(apply, n, k, 100)
+	// Loadings: column c of F is sqrt(λ_c)·v_c.
+	f := linalg.NewMatrix(n, k)
+	for c2 := 0; c2 < k; c2++ {
+		s := vals[c2]
+		if s < 0 {
+			s = 0
+		}
+		scale := math.Sqrt(s)
+		for i := 0; i < n; i++ {
+			f.Set(i, c2, scale*vecs.At(i, c2))
+		}
+	}
+	// Idiosyncratic diagonal: total variance minus explained, floored.
+	d := linalg.NewVector(n)
+	for j := 0; j < n; j++ {
+		var total float64
+		for i := 0; i < rows; i++ {
+			v := x.At(i, j)
+			total += v * v
+		}
+		total *= inv
+		var explained float64
+		for c2 := 0; c2 < k; c2++ {
+			explained += f.At(j, c2) * f.At(j, c2)
+		}
+		resid := total - explained
+		if resid < 1e-6 {
+			resid = 1e-6
+		}
+		d[j] = resid
+	}
+	return &linalg.FactorModel{D: d, F: f}
+}

@@ -1,0 +1,176 @@
+package monitor
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/market"
+)
+
+// MarketSnapshot is one market's state at an interval — what the paper's
+// system-monitoring component feeds the price and failure predictors.
+type MarketSnapshot struct {
+	ID            string  `json:"id"`
+	Transient     bool    `json:"transient"`
+	Price         float64 `json:"price_per_hour"`
+	PerReqCost    float64 `json:"per_request_cost"`
+	FailProb      float64 `json:"fail_prob"`
+	CapacityReqPS float64 `json:"capacity_req_per_sec"`
+}
+
+// Warning is a revocation warning relayed from the cloud to the balancer.
+type Warning struct {
+	ServerID int       `json:"server_id"`
+	Market   int       `json:"market"`
+	Deadline time.Time `json:"deadline"`
+}
+
+// MarketMonitor tracks market state and relays revocation warnings to
+// subscribers (the transiency-aware balancer, §5.2: "On a revocation
+// warning, the monitoring system forwards it to the Load balancer").
+type MarketMonitor struct {
+	Cat *market.Catalog
+
+	mu   sync.Mutex
+	subs []chan Warning
+	log  []Warning
+}
+
+// NewMarketMonitor wraps a catalog.
+func NewMarketMonitor(cat *market.Catalog) *MarketMonitor {
+	return &MarketMonitor{Cat: cat}
+}
+
+// Snapshot returns all markets' state at interval t (including the
+// per-request price conversion the paper's monitor performs).
+func (m *MarketMonitor) Snapshot(t int) []MarketSnapshot {
+	out := make([]MarketSnapshot, 0, m.Cat.Len())
+	for _, mk := range m.Cat.Markets {
+		out = append(out, MarketSnapshot{
+			ID:            mk.ID(),
+			Transient:     mk.Transient,
+			Price:         mk.PriceAt(t),
+			PerReqCost:    mk.PerRequestCostAt(t),
+			FailProb:      mk.FailProbAt(t),
+			CapacityReqPS: mk.Type.Capacity,
+		})
+	}
+	return out
+}
+
+// Subscribe returns a channel receiving future warnings. The channel is
+// buffered; slow subscribers drop warnings rather than block the relay.
+func (m *MarketMonitor) Subscribe() <-chan Warning {
+	ch := make(chan Warning, 16)
+	m.mu.Lock()
+	m.subs = append(m.subs, ch)
+	m.mu.Unlock()
+	return ch
+}
+
+// RelayWarning forwards a revocation warning to all subscribers and records
+// it in the warning log.
+func (m *MarketMonitor) RelayWarning(w Warning) {
+	m.mu.Lock()
+	m.log = append(m.log, w)
+	subs := append([]chan Warning(nil), m.subs...)
+	m.mu.Unlock()
+	for _, ch := range subs {
+		select {
+		case ch <- w:
+		default: // drop rather than block the warning path
+		}
+	}
+}
+
+// Warnings returns a copy of the warning log.
+func (m *MarketMonitor) Warnings() []Warning {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Warning(nil), m.log...)
+}
+
+// API is the REST surface of the monitoring subsystem: the paper wraps
+// HAProxy's halog statistics and the market feeds behind REST endpoints
+// polled by the predictors; this is the equivalent.
+//
+//	GET /stats            → Stats (sliding-window application metrics)
+//	GET /markets?t=<int>  → []MarketSnapshot
+//	GET /warnings         → []Warning
+//	GET /portfolio        → map market-index → weight (if a source is set)
+//	GET /healthz          → 200 ok
+type API struct {
+	Collector *Collector
+	Markets   *MarketMonitor
+	// Portfolio optionally reports the currently executed portfolio.
+	Portfolio func() map[int]float64
+	// Interval maps wall time to the market-series interval index; when nil
+	// the t query parameter is required for /markets.
+	Interval func() int
+}
+
+// Handler returns the REST handler.
+func (a *API) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
+		if a.Collector == nil {
+			http.Error(w, "no collector", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, a.Collector.Snapshot())
+	})
+	mux.HandleFunc("/markets", func(w http.ResponseWriter, r *http.Request) {
+		if a.Markets == nil {
+			http.Error(w, "no market monitor", http.StatusNotFound)
+			return
+		}
+		t := 0
+		if q := r.URL.Query().Get("t"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil {
+				http.Error(w, "bad t", http.StatusBadRequest)
+				return
+			}
+			t = v
+		} else if a.Interval != nil {
+			t = a.Interval()
+		}
+		writeJSON(w, a.Markets.Snapshot(t))
+	})
+	mux.HandleFunc("/warnings", func(w http.ResponseWriter, _ *http.Request) {
+		if a.Markets == nil {
+			http.Error(w, "no market monitor", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, a.Markets.Warnings())
+	})
+	mux.HandleFunc("/portfolio", func(w http.ResponseWriter, _ *http.Request) {
+		if a.Portfolio == nil {
+			http.Error(w, "no portfolio source", http.StatusNotFound)
+			return
+		}
+		// JSON object keys must be strings.
+		out := map[string]float64{}
+		for k, v := range a.Portfolio() {
+			out[strconv.Itoa(k)] = v
+		}
+		writeJSON(w, out)
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

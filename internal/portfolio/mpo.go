@@ -1,0 +1,328 @@
+package portfolio
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/linalg"
+	"repro/internal/solver"
+)
+
+// Plan is the optimizer output: one allocation vector per horizon step. Only
+// the first step is executed by the receding-horizon controller.
+type Plan struct {
+	// Alloc[τ][i] is the fraction of step-τ predicted load on market i.
+	Alloc []linalg.Vector
+	// Objective is the optimal cost (lower is better; $-denominated terms
+	// plus the risk regularizer).
+	Objective float64
+	// SolveTime is the wall-clock optimizer latency (the Fig. 7(b) metric).
+	SolveTime  time.Duration
+	Iterations int
+	Status     solver.Status
+}
+
+// First returns the first-interval allocation (the executed trade).
+func (p *Plan) First() linalg.Vector { return p.Alloc[0] }
+
+// horizonOperator is the Hessian of the MPO objective as a matrix-free
+// operator: block-diagonal risk (2αM per period) plus the tridiagonal churn
+// coupling 2κ(‖A_τ − A_{τ−1}‖² terms).
+type horizonOperator struct {
+	m     RiskApplier // risk matrix M (dense, sparse or factor model)
+	alpha float64
+	kappa float64
+	n, h  int
+}
+
+// Apply implements solver.QuadOperator.
+func (o *horizonOperator) Apply(x, dst linalg.Vector) {
+	n, h := o.n, o.h
+	for τ := 0; τ < h; τ++ {
+		xb := x[τ*n : (τ+1)*n]
+		db := dst[τ*n : (τ+1)*n]
+		o.m.MulVec(xb, db)
+		linalg.Vector(db).Scale(2 * o.alpha)
+	}
+	if o.kappa == 0 {
+		return
+	}
+	k2 := 2 * o.kappa
+	for τ := 0; τ < h; τ++ {
+		xb := x[τ*n : (τ+1)*n]
+		db := dst[τ*n : (τ+1)*n]
+		// Each A_τ appears in the (τ) difference and, if τ+1 < h, in the
+		// (τ+1) difference.
+		diagCount := 1.0
+		if τ+1 < h {
+			diagCount = 2.0
+		}
+		for i := 0; i < n; i++ {
+			db[i] += k2 * diagCount * xb[i]
+		}
+		if τ > 0 {
+			prev := x[(τ-1)*n : τ*n]
+			for i := 0; i < n; i++ {
+				db[i] -= k2 * prev[i]
+			}
+		}
+		if τ+1 < h {
+			next := x[(τ+1)*n : (τ+2)*n]
+			for i := 0; i < n; i++ {
+				db[i] -= k2 * next[i]
+			}
+		}
+	}
+}
+
+// Dim implements solver.QuadOperator.
+func (o *horizonOperator) Dim() int { return o.n * o.h }
+
+// churnWeight converts the dimensionless ChurnKappa into dollar units by
+// scaling with the mean per-interval spend λ·C̄ over the horizon, so the
+// churn term competes with the provisioning cost on equal footing.
+func (c Config) churnWeight(in *Inputs, n int) float64 {
+	if c.ChurnKappa <= 0 {
+		return 0
+	}
+	var spend float64
+	for τ := 0; τ < c.Horizon; τ++ {
+		var meanC float64
+		for i := 0; i < n; i++ {
+			meanC += in.PerReqCost[τ][i]
+		}
+		meanC /= float64(n)
+		spend += in.Lambda[τ] * meanC
+	}
+	spend /= float64(c.Horizon)
+	if spend <= 0 {
+		return 0
+	}
+	return c.ChurnKappa * spend
+}
+
+// buildLinear assembles the stacked linear cost vector, including the churn
+// cross-term with the fixed previous allocation (−2κ·prev on the first
+// block).
+func (c Config) buildLinear(in *Inputs, n int, kappa float64) linalg.Vector {
+	h := c.Horizon
+	q := linalg.NewVector(n * h)
+	for τ := 0; τ < h; τ++ {
+		for i := 0; i < n; i++ {
+			q[τ*n+i] = c.linearCost(in, τ, i)
+		}
+	}
+	if kappa > 0 && in.PrevAlloc != nil {
+		for i := 0; i < n; i++ {
+			q[i] -= 2 * kappa * in.PrevAlloc[i]
+		}
+	}
+	return q
+}
+
+// feasibleSet builds the horizon-stacked projection set (constraints 7–10).
+func (c Config) feasibleSet(n int) *solver.ProductSet {
+	blocks := make([]*solver.BoxBand, c.Horizon)
+	for τ := 0; τ < c.Horizon; τ++ {
+		lo := linalg.NewVector(n)
+		hi := linalg.NewVector(n)
+		hi.Fill(c.AMaxPerMarket)
+		blocks[τ] = solver.NewBoxBand(lo, hi, c.AMin, c.AMax)
+	}
+	return solver.NewProductSet(blocks)
+}
+
+// Optimize solves the MPO program and returns the plan.
+func Optimize(cfg Config, in *Inputs) (*Plan, error) {
+	c := cfg.WithDefaults()
+	n, err := in.Validate(c.Horizon)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("portfolio: no markets")
+	}
+	if c.AMin > float64(n)*c.AMaxPerMarket {
+		return nil, fmt.Errorf("portfolio: AMin %v unreachable with %d markets capped at %v",
+			c.AMin, n, c.AMaxPerMarket)
+	}
+	start := time.Now()
+	var res solver.Result
+	switch c.Solver {
+	case SolverADMM:
+		res = c.solveADMM(in, n)
+	default:
+		res = c.solveFISTA(in, n)
+	}
+	if res.Status == solver.StatusError {
+		return nil, fmt.Errorf("portfolio: solver failed")
+	}
+	plan := &Plan{
+		Objective:  res.Objective,
+		SolveTime:  time.Since(start),
+		Iterations: res.Iterations,
+		Status:     res.Status,
+	}
+	for τ := 0; τ < c.Horizon; τ++ {
+		alloc := linalg.Vector(res.X[τ*n : (τ+1)*n]).Clone()
+		// Numerical cleanup: clip tiny negatives from solver tolerance.
+		for i := range alloc {
+			if alloc[i] < 0 {
+				alloc[i] = 0
+			}
+		}
+		plan.Alloc = append(plan.Alloc, alloc)
+	}
+	return plan, nil
+}
+
+func (c Config) solveFISTA(in *Inputs, n int) solver.Result {
+	kappa := c.churnWeight(in, n)
+	risk := RiskApplier(in.Risk)
+	if in.RiskOp != nil {
+		risk = in.RiskOp
+	}
+	pp := &solver.ProjectedProblem{
+		P: &horizonOperator{m: risk, alpha: c.Alpha, kappa: kappa, n: n, h: c.Horizon},
+		Q: c.buildLinear(in, n, kappa),
+		C: c.feasibleSet(n),
+	}
+	return solver.SolveFISTA(pp, solver.FISTASettings{MaxIter: 4000, Tol: 1e-7})
+}
+
+func (c Config) solveADMM(in *Inputs, n int) solver.Result {
+	if in.Risk == nil {
+		return solver.Result{Status: solver.StatusError} // dense M required
+	}
+	h := c.Horizon
+	dim := n * h
+	kappa := c.churnWeight(in, n)
+	// Dense Hessian: block-diagonal 2αM plus churn tridiagonal coupling.
+	p := linalg.NewMatrix(dim, dim)
+	for τ := 0; τ < h; τ++ {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				p.Set(τ*n+i, τ*n+j, 2*c.Alpha*in.Risk.At(i, j))
+			}
+		}
+	}
+	if kappa > 0 {
+		k2 := 2 * kappa
+		for τ := 0; τ < h; τ++ {
+			diagCount := 1.0
+			if τ+1 < h {
+				diagCount = 2.0
+			}
+			for i := 0; i < n; i++ {
+				p.Add(τ*n+i, τ*n+i, k2*diagCount)
+				if τ > 0 {
+					p.Add(τ*n+i, (τ-1)*n+i, -k2)
+					p.Add((τ-1)*n+i, τ*n+i, 0) // symmetry set below
+				}
+			}
+		}
+		// Symmetrize the off-diagonal coupling.
+		for τ := 1; τ < h; τ++ {
+			for i := 0; i < n; i++ {
+				p.Set((τ-1)*n+i, τ*n+i, p.At(τ*n+i, (τ-1)*n+i))
+			}
+		}
+	}
+	// Constraints: box rows (identity) + one sum row per period.
+	m := dim + h
+	a := linalg.NewMatrix(m, dim)
+	l := linalg.NewVector(m)
+	u := linalg.NewVector(m)
+	for k := 0; k < dim; k++ {
+		a.Set(k, k, 1)
+		l[k] = 0
+		u[k] = c.AMaxPerMarket
+	}
+	for τ := 0; τ < h; τ++ {
+		row := dim + τ
+		for i := 0; i < n; i++ {
+			a.Set(row, τ*n+i, 1)
+		}
+		l[row] = c.AMin
+		u[row] = c.AMax
+	}
+	prob := &solver.Problem{P: p, Q: c.buildLinear(in, n, kappa), A: a, L: l, U: u}
+	return solver.SolveADMM(prob, solver.ADMMSettings{MaxIter: 8000, EpsAbs: 1e-6, EpsRel: 1e-6})
+}
+
+// ServerCounts converts a fractional allocation into integer server counts
+// (§4.2's A_t^i = n_t^i r_i / λ_t inverted). Naively ceiling every market
+// wastes most of a large instance per thin allocation, so integerization is
+// largest-remainder: floor each market's fractional server need, then add
+// whole servers — largest remainder first, smallest instance on ties — until
+// the realized capacity covers the allocated demand λ·ΣA. Allocations so
+// small they would claim only a sliver of one server (< minFraction) are
+// dropped to avoid churning tiny instances.
+func ServerCounts(alloc linalg.Vector, lambda float64, capacities []float64, minFraction float64) []int {
+	out := make([]int, len(alloc))
+	if lambda <= 0 {
+		return out
+	}
+	type rem struct {
+		i    int
+		frac float64
+	}
+	var rems []rem
+	var target, have float64
+	for i, a := range alloc {
+		if a <= 0 {
+			continue
+		}
+		want := a * lambda / capacities[i]
+		if want < minFraction {
+			continue
+		}
+		n := int(math.Floor(want + 1e-9))
+		out[i] = n
+		have += float64(n) * capacities[i]
+		target += a * lambda
+		rems = append(rems, rem{i: i, frac: want - float64(n)})
+	}
+	sort.Slice(rems, func(a, b int) bool {
+		if rems[a].frac != rems[b].frac {
+			return rems[a].frac > rems[b].frac
+		}
+		if capacities[rems[a].i] != capacities[rems[b].i] {
+			return capacities[rems[a].i] < capacities[rems[b].i]
+		}
+		return rems[a].i < rems[b].i
+	})
+	for _, r := range rems {
+		if have >= target-1e-9 {
+			return out
+		}
+		out[r.i]++
+		have += capacities[r.i]
+	}
+	// Remainders exhausted but capacity still short (slivers were dropped):
+	// top up with the smallest participating instance.
+	if have < target-1e-9 && len(rems) > 0 {
+		small := rems[0].i
+		for _, r := range rems {
+			if capacities[r.i] < capacities[small] {
+				small = r.i
+			}
+		}
+		for have < target-1e-9 {
+			out[small]++
+			have += capacities[small]
+		}
+	}
+	return out
+}
+
+// CapacityOf returns the total req/s capacity of integer server counts.
+func CapacityOf(counts []int, capacities []float64) float64 {
+	var s float64
+	for i, n := range counts {
+		s += float64(n) * capacities[i]
+	}
+	return s
+}

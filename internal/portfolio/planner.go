@@ -1,0 +1,200 @@
+package portfolio
+
+import (
+	"math"
+
+	"repro/internal/linalg"
+	"repro/internal/market"
+	"repro/internal/predict"
+)
+
+// ForecastSource supplies per-market price and failure-probability forecasts
+// over the horizon. Implementations: OracleSource (true future values, used
+// where the paper assumes perfect knowledge), ReactiveSource (future =
+// present, the paper's default for failure probabilities).
+type ForecastSource interface {
+	// PerReqCosts returns [τ][i] per-request costs for τ = t+1..t+h.
+	PerReqCosts(t, h int) [][]float64
+	// FailProbs returns [τ][i] revocation probabilities for τ = t+1..t+h.
+	FailProbs(t, h int) [][]float64
+}
+
+// OracleSource reads true future values from the catalog.
+type OracleSource struct{ Cat *market.Catalog }
+
+// PerReqCosts implements ForecastSource.
+func (o OracleSource) PerReqCosts(t, h int) [][]float64 {
+	out := make([][]float64, h)
+	for k := 0; k < h; k++ {
+		out[k] = o.Cat.PerRequestCosts(t + 1 + k)
+	}
+	return out
+}
+
+// FailProbs implements ForecastSource.
+func (o OracleSource) FailProbs(t, h int) [][]float64 {
+	out := make([][]float64, h)
+	for k := 0; k < h; k++ {
+		out[k] = o.Cat.FailProbs(t + 1 + k)
+	}
+	return out
+}
+
+// ReactiveSource assumes every future interval looks like the present — the
+// information set available to a backward-looking policy such as ExoSphere.
+type ReactiveSource struct{ Cat *market.Catalog }
+
+// PerReqCosts implements ForecastSource.
+func (r ReactiveSource) PerReqCosts(t, h int) [][]float64 {
+	now := r.Cat.PerRequestCosts(t)
+	out := make([][]float64, h)
+	for k := range out {
+		out[k] = now
+	}
+	return out
+}
+
+// FailProbs implements ForecastSource.
+func (r ReactiveSource) FailProbs(t, h int) [][]float64 {
+	now := r.Cat.FailProbs(t)
+	out := make([][]float64, h)
+	for k := range out {
+		out[k] = now
+	}
+	return out
+}
+
+// NoisySource wraps a ForecastSource with deterministic multiplicative noise
+// on the price forecasts — the Fig. 7(a) accuracy knob applied to prices.
+type NoisySource struct {
+	Base     ForecastSource
+	RelError float64
+	Seed     uint64
+}
+
+// PerReqCosts implements ForecastSource.
+func (n NoisySource) PerReqCosts(t, h int) [][]float64 {
+	out := n.Base.PerReqCosts(t, h)
+	for k := range out {
+		row := append([]float64(nil), out[k]...)
+		for i := range row {
+			s := uint64(t)*2654435761 + uint64(k)*97 + uint64(i)*7919 + n.Seed + 1
+			s ^= s << 13
+			s ^= s >> 7
+			s ^= s << 17
+			u1 := float64(s%100000)/100000.0 + 1e-9
+			s ^= s << 13
+			s ^= s >> 7
+			s ^= s << 17
+			u2 := float64(s%100000) / 100000.0
+			g := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+			row[i] *= 1 + n.RelError*g
+			if row[i] < 0 {
+				row[i] = 0
+			}
+		}
+		out[k] = row
+	}
+	return out
+}
+
+// FailProbs implements ForecastSource.
+func (n NoisySource) FailProbs(t, h int) [][]float64 { return n.Base.FailProbs(t, h) }
+
+// Planner is the receding-horizon controller: each interval it observes the
+// actual workload, refreshes forecasts, solves the MPO program and returns
+// the first-interval allocation and server counts.
+type Planner struct {
+	Cfg      Config
+	Cat      *market.Catalog
+	Workload predict.Predictor
+	Source   ForecastSource
+	// CovWindow is the trailing window (in intervals) for the covariance
+	// matrix M; 0 means 14 days.
+	CovWindow int
+	// MinServerFraction drops allocations smaller than this fraction of one
+	// server (default 0.05).
+	MinServerFraction float64
+
+	prevAlloc linalg.Vector
+	lastPred  float64
+	maeWin    []float64
+}
+
+// NewPlanner wires a planner with defaults.
+func NewPlanner(cfg Config, cat *market.Catalog, workload predict.Predictor, src ForecastSource) *Planner {
+	c := cfg.WithDefaults()
+	cov := int(14 * 24 / cat.StepHrs)
+	return &Planner{
+		Cfg: c, Cat: cat, Workload: workload, Source: src,
+		CovWindow: cov, MinServerFraction: 0.05,
+	}
+}
+
+// Decision is the per-interval output of the planner.
+type Decision struct {
+	Plan *Plan
+	// Counts[i] is the integer server count requested in market i.
+	Counts []int
+	// PredictedLambda is the (padded) first-interval workload forecast the
+	// counts were sized for.
+	PredictedLambda float64
+	// Capacity is the total req/s the counts provide.
+	Capacity float64
+}
+
+// Step observes the actual workload of interval t and plans interval t+1.
+func (p *Planner) Step(t int, actualLambda float64) (*Decision, error) {
+	// Score last forecast and maintain MAE for the Eq. 4 shortfall charge.
+	if p.lastPred > 0 {
+		p.maeWin = append(p.maeWin, math.Abs(p.lastPred-actualLambda))
+		if len(p.maeWin) > 200 {
+			p.maeWin = p.maeWin[len(p.maeWin)-200:]
+		}
+	}
+	p.Workload.Observe(actualLambda)
+
+	h := p.Cfg.Horizon
+	lambda := p.Workload.Predict(h)
+	for i, v := range lambda {
+		if v < 1 {
+			lambda[i] = 1 // guard against zero-load degeneracy
+		}
+	}
+	p.lastPred = lambda[0]
+
+	var mae float64
+	if len(p.maeWin) > 0 {
+		var s float64
+		for _, v := range p.maeWin {
+			s += v
+		}
+		mae = s / float64(len(p.maeWin))
+	}
+
+	in := &Inputs{
+		Lambda:       lambda,
+		PerReqCost:   p.Source.PerReqCosts(t, h),
+		FailProb:     p.Source.FailProbs(t, h),
+		Risk:         p.Cat.CovarianceMatrix(t, p.CovWindow),
+		PrevAlloc:    p.prevAlloc,
+		ShortfallMAE: mae,
+	}
+	plan, err := Optimize(p.Cfg, in)
+	if err != nil {
+		return nil, err
+	}
+	p.prevAlloc = plan.First().Clone()
+
+	caps := make([]float64, p.Cat.Len())
+	for i, m := range p.Cat.Markets {
+		caps[i] = m.Type.Capacity
+	}
+	counts := ServerCounts(plan.First(), lambda[0], caps, p.MinServerFraction)
+	return &Decision{
+		Plan:            plan,
+		Counts:          counts,
+		PredictedLambda: lambda[0],
+		Capacity:        CapacityOf(counts, caps),
+	}, nil
+}

@@ -1,0 +1,38 @@
+package predict
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func BenchmarkSplineFit(b *testing.B) {
+	s := trace.WikipediaLike(1).Generate()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := NewSplinePredictor(SplineConfig{ARLag1: true}, 1)
+		for _, v := range s.Values[:14*24] {
+			p.Observe(v)
+		}
+	}
+}
+
+func BenchmarkPredictorsObservePredict(b *testing.B) {
+	s := trace.WikipediaLike(2).Generate()
+	for _, name := range []string{"spline", "holtwinters", "ar", "seasonal"} {
+		b.Run(name, func(b *testing.B) {
+			p, err := ByName(name, 1, 4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, v := range s.Values {
+				p.Observe(v)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.Predict(4)
+				p.Observe(s.Values[i%s.Len()])
+			}
+		})
+	}
+}

@@ -1,0 +1,122 @@
+package predict
+
+import (
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Pretrain feeds the first n values of a series to a predictor, issuing (and
+// discarding) one-step forecasts along the way so residual-based confidence
+// intervals are calibrated too. The paper trains its spline predictor on a
+// two-week moving window before evaluation; experiments call this with the
+// training prefix of the trace and then simulate on the remainder.
+func Pretrain(p Predictor, s *trace.Series, n int) {
+	if n > s.Len() {
+		n = s.Len()
+	}
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			p.Predict(1)
+		}
+		p.Observe(s.At(i))
+	}
+}
+
+// EvalResult summarizes a one-step-ahead backtest of a predictor over a
+// series: the per-interval relative errors (positive = over-provisioning, as
+// in the paper's Fig. 4(c)/(d) convention) plus the summary statistics §6.2
+// reports.
+type EvalResult struct {
+	RelErrors []float64
+	// MeanOver and MaxOver are the mean/max positive relative error.
+	MeanOver, MaxOver float64
+	// MaxUnder is the magnitude of the worst negative relative error.
+	MaxUnder float64
+	// MAPE over all intervals.
+	MAPE float64
+	// UnderFraction is the fraction of intervals under-provisioned.
+	UnderFraction float64
+}
+
+// Backtest runs the predictor over the series with one-step-ahead forecasts
+// after a warmup period, returning the relative prediction errors. The
+// predictor observes every value in order; after warmup intervals each
+// Predict(1) is scored against the next actual.
+func Backtest(p Predictor, s *trace.Series, warmup int) EvalResult {
+	var preds, actuals []float64
+	for i, v := range s.Values {
+		if i >= warmup && i > 0 {
+			f := p.Predict(1)
+			preds = append(preds, f[0])
+			actuals = append(actuals, v)
+		} else if i > 0 {
+			// Keep residual bookkeeping warm even during warmup.
+			p.Predict(1)
+		}
+		p.Observe(v)
+	}
+	rel := stats.RelativeErrors(preds, actuals)
+	res := EvalResult{RelErrors: rel, MAPE: stats.MAPE(preds, actuals)}
+	var overSum float64
+	var overN, underN int
+	for _, e := range rel {
+		if e >= 0 {
+			overSum += e
+			overN++
+			if e > res.MaxOver {
+				res.MaxOver = e
+			}
+		} else {
+			underN++
+			if -e > res.MaxUnder {
+				res.MaxUnder = -e
+			}
+		}
+	}
+	if overN > 0 {
+		res.MeanOver = overSum / float64(overN)
+	}
+	if len(rel) > 0 {
+		res.UnderFraction = float64(underN) / float64(len(rel))
+	}
+	return res
+}
+
+// MultiHorizonBacktest scores Predict(h) forecasts at every horizon
+// 1..h, returning the MAPE per horizon. Used to verify that longer horizons
+// degrade gracefully (the paper's §6.4 observation that longer look-ahead
+// yields diminishing value partly because long-horizon forecasts are less
+// accurate).
+func MultiHorizonBacktest(mk func() Predictor, s *trace.Series, warmup, h int) []float64 {
+	p := mk()
+	type issued struct {
+		at int // interval index of the first forecast element
+		f  []float64
+	}
+	var queue []issued
+	preds := make([][]float64, h)
+	actuals := make([][]float64, h)
+	for i, v := range s.Values {
+		if i >= warmup {
+			// Predict before Observe: element k targets interval i+k.
+			queue = append(queue, issued{at: i, f: p.Predict(h)})
+		}
+		kept := queue[:0]
+		for _, q := range queue {
+			if k := i - q.at; k >= 0 && k < len(q.f) {
+				preds[k] = append(preds[k], q.f[k])
+				actuals[k] = append(actuals[k], v)
+			}
+			if q.at+len(q.f)-1 > i {
+				kept = append(kept, q)
+			}
+		}
+		queue = kept
+		p.Observe(v)
+	}
+	out := make([]float64, h)
+	for k := 0; k < h; k++ {
+		out[k] = stats.MAPE(preds[k], actuals[k])
+	}
+	return out
+}

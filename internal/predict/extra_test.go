@@ -1,0 +1,219 @@
+package predict
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestSeasonalNaive(t *testing.T) {
+	p := &SeasonalNaive{Period: 3}
+	for _, v := range []float64{10, 20, 30, 11, 21, 31} {
+		p.Observe(v)
+	}
+	got := p.Predict(4)
+	want := []float64{11, 21, 31, 11}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Predict = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSeasonalNaiveBeforeFullSeason(t *testing.T) {
+	p := &SeasonalNaive{Period: 24}
+	p.Observe(5)
+	if got := p.Predict(2); got[0] != 5 || got[1] != 5 {
+		t.Fatalf("pre-season Predict = %v, want reactive", got)
+	}
+	var empty SeasonalNaive
+	if got := empty.Predict(1); got[0] != 0 {
+		t.Fatalf("empty Predict = %v", got)
+	}
+}
+
+func TestMovingAverage(t *testing.T) {
+	p := &MovingAverage{Window: 3}
+	for _, v := range []float64{1, 2, 3, 4} { // window keeps 2,3,4
+		p.Observe(v)
+	}
+	if got := p.Predict(2); got[0] != 3 || got[1] != 3 {
+		t.Fatalf("Predict = %v, want 3s", got)
+	}
+	var empty MovingAverage
+	if got := empty.Predict(1); got[0] != 0 {
+		t.Fatalf("empty = %v", got)
+	}
+}
+
+func TestHoltWintersTracksSeasonAndTrend(t *testing.T) {
+	// Synthetic series: level 100 + trend 0.5/step + seasonal sin pattern.
+	period := 12
+	gen := func(i int) float64 {
+		return 100 + 0.5*float64(i) + 20*math.Sin(2*math.Pi*float64(i)/float64(period))
+	}
+	hw := &HoltWinters{Period: period}
+	n := period * 20
+	for i := 0; i < n; i++ {
+		hw.Observe(gen(i))
+	}
+	fc := hw.Predict(period)
+	var mape float64
+	for k := 0; k < period; k++ {
+		actual := gen(n + k)
+		mape += math.Abs(fc[k]-actual) / actual
+	}
+	mape /= float64(period)
+	if mape > 0.05 {
+		t.Fatalf("Holt-Winters MAPE %v on a clean seasonal series, want < 5%%", mape)
+	}
+}
+
+func TestHoltWintersWarmupReactive(t *testing.T) {
+	hw := &HoltWinters{Period: 4}
+	hw.Observe(7)
+	if got := hw.Predict(2); got[0] != 7 {
+		t.Fatalf("warmup Predict = %v, want reactive 7", got)
+	}
+	var empty HoltWinters
+	if got := empty.Predict(1); got[0] != 0 {
+		t.Fatalf("empty = %v", got)
+	}
+}
+
+func TestHoltWintersNonNegative(t *testing.T) {
+	hw := &HoltWinters{Period: 4}
+	// Strongly decreasing series: trend extrapolation must clip at zero.
+	for i := 0; i < 40; i++ {
+		v := 100 - 3*float64(i)
+		if v < 0 {
+			v = 0
+		}
+		hw.Observe(v)
+	}
+	for _, f := range hw.Predict(10) {
+		if f < 0 {
+			t.Fatalf("negative forecast %v", f)
+		}
+	}
+}
+
+func TestARRecoversAR1Process(t *testing.T) {
+	// x_t = 0.8 x_{t-1} + noise-free: AR(3) fit should put ~0.8 on lag 1.
+	ar := &AR{Order: 3, Window: 400}
+	x := 1.0
+	for i := 0; i < 400; i++ {
+		ar.Observe(x)
+		x = 0.8*x + 0.2 // converges to 1; add deterministic variation
+		if i%17 == 0 {
+			x += 0.5
+		}
+	}
+	if ar.coefs == nil {
+		t.Fatal("AR never fitted")
+	}
+	if ar.coefs[0] < 0.4 {
+		t.Fatalf("lag-1 coefficient %v, want dominant positive", ar.coefs[0])
+	}
+	// Multi-step forecasts decay toward the mean, stay finite.
+	fc := ar.Predict(20)
+	for _, f := range fc {
+		if math.IsNaN(f) || math.IsInf(f, 0) || f < 0 {
+			t.Fatalf("bad forecast %v", f)
+		}
+	}
+}
+
+func TestARFallbacks(t *testing.T) {
+	var empty AR
+	if got := empty.Predict(1); got[0] != 0 {
+		t.Fatalf("empty = %v", got)
+	}
+	ar := &AR{Order: 3}
+	ar.Observe(5)
+	if got := ar.Predict(1); got[0] != 5 {
+		t.Fatalf("unfitted Predict = %v, want reactive", got)
+	}
+	// Constant series: r[0] == 0, fit must bail without panicking.
+	c := &AR{Order: 2, Window: 50}
+	for i := 0; i < 50; i++ {
+		c.Observe(3)
+	}
+	if got := c.Predict(1); got[0] != 3 {
+		t.Fatalf("constant series Predict = %v", got)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"spline", "spline-nopad", "reactive", "ewma",
+		"seasonal", "ma", "holtwinters", "ar", ""} {
+		p, err := ByName(name, 1, 4)
+		if err != nil {
+			t.Fatalf("%q: %v", name, err)
+		}
+		p.Observe(100)
+		if out := p.Predict(2); len(out) != 2 {
+			t.Fatalf("%q: Predict len %d", name, len(out))
+		}
+	}
+	if _, err := ByName("nope", 1, 4); err == nil {
+		t.Fatal("expected error for unknown name")
+	}
+}
+
+// All predictors should beat or at least approach the reactive baseline on
+// the diurnal trace; none may blow up.
+func TestExtraPredictorsOnDiurnalTrace(t *testing.T) {
+	cfg := trace.WikipediaLike(31)
+	s := cfg.Generate()
+	warmup := 14 * 24
+	reactive := Backtest(&Reactive{}, s, warmup).MAPE
+	for _, tc := range []struct {
+		name string
+		mk   func() Predictor
+		// maxRel is the allowed MAPE relative to reactive.
+		maxRel float64
+	}{
+		{"seasonal", func() Predictor { return &SeasonalNaive{Period: 24} }, 1.0},
+		{"holtwinters", func() Predictor { return &HoltWinters{Period: 24} }, 1.0},
+		{"ar", func() Predictor { return &AR{Order: 3, Window: 336} }, 1.2},
+		// A 6 h moving average inherently lags the diurnal ramp; the bound
+		// only guards against blow-ups.
+		{"ma", func() Predictor { return &MovingAverage{Window: 6} }, 5.0},
+	} {
+		got := Backtest(tc.mk(), s, warmup).MAPE
+		if got > reactive*tc.maxRel {
+			t.Fatalf("%s MAPE %v vs reactive %v exceeds %vx budget", tc.name, got, reactive, tc.maxRel)
+		}
+	}
+}
+
+// Padding composes with any predictor.
+func TestPaddedComposesWithExtraPredictors(t *testing.T) {
+	cfg := trace.WikipediaLike(32)
+	s := cfg.Generate()
+	p := NewPadded(&HoltWinters{Period: 24}, 0.99, 2)
+	res := Backtest(p, s, 14*24)
+	if res.UnderFraction > 0.15 {
+		t.Fatalf("padded Holt-Winters under-provisions %v of intervals", res.UnderFraction)
+	}
+	if res.MeanOver <= 0 {
+		t.Fatal("padding should over-provision on average")
+	}
+}
+
+func TestPaddedDefaults(t *testing.T) {
+	p := NewPadded(&Reactive{}, 0, 0)
+	if p.CIProb != 0.99 || p.MaxHorizon != 8 {
+		t.Fatalf("defaults = %+v", p)
+	}
+	if got := p.Predict(1); len(got) != 1 {
+		t.Fatal("empty-history Predict broken")
+	}
+	p.Observe(100)
+	f := p.Predict(1)
+	if f[0] < 100 {
+		t.Fatalf("padded forecast %v below point forecast", f[0])
+	}
+}

@@ -1,0 +1,36 @@
+package predict
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzSplinePredictor feeds arbitrary observation patterns and requires
+// forecasts to stay finite and non-negative.
+func FuzzSplinePredictor(f *testing.F) {
+	f.Add(100.0, 1.2, 17)
+	f.Add(0.0, 0.0, 3)
+	f.Add(1e5, -0.9, 60)
+	f.Fuzz(func(t *testing.T, base, slope float64, n int) {
+		if math.IsNaN(base) || math.IsInf(base, 0) || math.IsNaN(slope) || math.IsInf(slope, 0) {
+			t.Skip()
+		}
+		if n < 0 || n > 500 || math.Abs(base) > 1e9 || math.Abs(slope) > 1e3 {
+			t.Skip()
+		}
+		p := NewSplinePredictor(SplineConfig{ARLag1: true, CIProb: 0.99}, 4)
+		for i := 0; i < n; i++ {
+			v := base + slope*float64(i) + 10*math.Sin(float64(i))
+			if v < 0 {
+				v = 0
+			}
+			p.Predict(4)
+			p.Observe(v)
+		}
+		for _, fc := range p.Predict(4) {
+			if math.IsNaN(fc) || math.IsInf(fc, 0) || fc < 0 {
+				t.Fatalf("bad forecast %v after %d obs (base %v slope %v)", fc, n, base, slope)
+			}
+		}
+	})
+}

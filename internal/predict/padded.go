@@ -1,0 +1,90 @@
+package predict
+
+import (
+	"repro/internal/stats"
+)
+
+// Padded wraps any Predictor with SpotWeb's intelligent over-provisioning
+// (§4.3): it tracks the base predictor's residuals per horizon and returns
+// the upper bound of the CIProb confidence interval instead of the point
+// forecast. This is the "SpotWeb can integrate any other predictors
+// out-of-the-box" hook — padding is applied uniformly regardless of the
+// underlying model.
+type Padded struct {
+	Base Predictor
+	// CIProb is the two-sided confidence level (paper: 0.99).
+	CIProb float64
+	// MaxHorizon bounds residual bookkeeping (default 8).
+	MaxHorizon int
+
+	pending   [][]float64
+	residuals [][]float64
+	last      float64
+	hasLast   bool
+}
+
+// NewPadded wraps base with 99% CI padding.
+func NewPadded(base Predictor, ciProb float64, maxHorizon int) *Padded {
+	if maxHorizon < 1 {
+		maxHorizon = 8
+	}
+	if ciProb <= 0 || ciProb >= 1 {
+		ciProb = 0.99
+	}
+	return &Padded{
+		Base: base, CIProb: ciProb, MaxHorizon: maxHorizon,
+		pending:   make([][]float64, maxHorizon),
+		residuals: make([][]float64, maxHorizon),
+	}
+}
+
+// Observe implements Predictor.
+func (p *Padded) Observe(v float64) {
+	for h := 0; h < p.MaxHorizon; h++ {
+		q := p.pending[h]
+		if len(q) > h {
+			r := q[0] - v
+			p.pending[h] = q[1:]
+			rs := append(p.residuals[h], r)
+			if len(rs) > 500 {
+				rs = rs[len(rs)-500:]
+			}
+			p.residuals[h] = rs
+		}
+	}
+	p.last, p.hasLast = v, true
+	p.Base.Observe(v)
+}
+
+// Predict implements Predictor: base forecasts plus the CI upper bound.
+func (p *Padded) Predict(h int) []float64 {
+	out := p.Base.Predict(h)
+	z := stats.ZQuantile(0.5 + p.CIProb/2)
+	for k := range out {
+		raw := out[k]
+		out[k] += z * p.sigma(k+1)
+		if out[k] < 0 {
+			out[k] = 0
+		}
+		if k < p.MaxHorizon {
+			p.pending[k] = append(p.pending[k], raw)
+		}
+	}
+	return out
+}
+
+func (p *Padded) sigma(h int) float64 {
+	for hh := h - 1; hh >= 0; hh-- {
+		if hh < len(p.residuals) && len(p.residuals[hh]) >= 20 {
+			s := stats.StdDev(p.residuals[hh])
+			if hh+1 < h {
+				s *= float64(h) / float64(hh+1)
+			}
+			return s
+		}
+	}
+	if !p.hasLast {
+		return 0
+	}
+	return 0.1 * p.last
+}

@@ -1,0 +1,289 @@
+package predict
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func TestNaturalSplineBasisShape(t *testing.T) {
+	b := NewNaturalSplineBasis(0, 24, 7)
+	if b.Dim() != 7 {
+		t.Fatalf("Dim = %d", b.Dim())
+	}
+	dst := make([]float64, 7)
+	b.Eval(12, dst)
+	if dst[0] != 1 || dst[1] != 12 {
+		t.Fatalf("constant/linear terms wrong: %v", dst)
+	}
+	for _, v := range dst {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("non-finite basis value: %v", dst)
+		}
+	}
+}
+
+func TestNaturalSplineLinearityBeyondBoundary(t *testing.T) {
+	// Natural splines are linear beyond the boundary knots: second
+	// differences of each basis function must vanish out there.
+	b := NewNaturalSplineBasis(0, 24, 6)
+	eval := func(x float64) []float64 {
+		dst := make([]float64, b.Dim())
+		b.Eval(x, dst)
+		return dst
+	}
+	for _, x := range []float64{30, 40, -5} {
+		f0, f1, f2 := eval(x), eval(x+1), eval(x+2)
+		for j := 0; j < b.Dim(); j++ {
+			secondDiff := f2[j] - 2*f1[j] + f0[j]
+			if math.Abs(secondDiff) > 1e-6*(1+math.Abs(f1[j])) {
+				t.Fatalf("basis %d not linear at x=%v: second diff %v", j, x, secondDiff)
+			}
+		}
+	}
+}
+
+func TestSplineBasisPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewNaturalSplineBasis(0, 24, 2) },
+		func() { NewNaturalSplineBasis(5, 5, 4) },
+		func() { NewNaturalSplineBasis(0, 1, 4).Eval(0, make([]float64, 3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRidgeRegressionRecoversLine(t *testing.T) {
+	// y = 2 + 3x with no noise.
+	n := 50
+	x := linalg.NewMatrix(n, 2)
+	y := linalg.NewVector(n)
+	for i := 0; i < n; i++ {
+		xv := float64(i) / 10
+		x.Set(i, 0, 1)
+		x.Set(i, 1, xv)
+		y[i] = 2 + 3*xv
+	}
+	w, err := RidgeRegression(x, y, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w[0]-2) > 1e-3 || math.Abs(w[1]-3) > 1e-3 {
+		t.Fatalf("w = %v, want (2, 3)", w)
+	}
+}
+
+func TestRidgeRegressionErrors(t *testing.T) {
+	x := linalg.NewMatrix(3, 2)
+	if _, err := RidgeRegression(x, linalg.NewVector(4), 0.1); err == nil {
+		t.Fatal("expected row mismatch error")
+	}
+	if _, err := RidgeRegression(x, linalg.NewVector(3), -1); err == nil {
+		t.Fatal("expected negative ridge error")
+	}
+}
+
+func TestReactivePredictor(t *testing.T) {
+	var r Reactive
+	r.Observe(5)
+	r.Observe(7)
+	got := r.Predict(3)
+	for _, v := range got {
+		if v != 7 {
+			t.Fatalf("Predict = %v, want all 7", got)
+		}
+	}
+}
+
+func TestEWMAPredictor(t *testing.T) {
+	e := &EWMA{Alpha: 0.5}
+	e.Observe(10)
+	e.Observe(20)
+	if got := e.Predict(1)[0]; got != 15 {
+		t.Fatalf("EWMA = %v, want 15", got)
+	}
+	zero := &EWMA{} // default alpha path
+	zero.Observe(10)
+	zero.Observe(0)
+	if got := zero.Predict(1)[0]; got != 7 {
+		t.Fatalf("EWMA default alpha = %v, want 7 (0.3 blend)", got)
+	}
+}
+
+func TestOraclePredictor(t *testing.T) {
+	o := &Oracle{Values: []float64{1, 2, 3, 4, 5}}
+	o.Observe(1) // t=1
+	got := o.Predict(3)
+	want := []float64{2, 3, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("oracle Predict = %v, want %v", got, want)
+		}
+	}
+	// Past the end: clamps to last value.
+	o.Observe(0)
+	o.Observe(0)
+	o.Observe(0) // t=4
+	got = o.Predict(3)
+	if got[0] != 5 || got[2] != 5 {
+		t.Fatalf("clamped oracle Predict = %v", got)
+	}
+}
+
+func TestNoisyOracleAccuracyKnob(t *testing.T) {
+	vals := make([]float64, 500)
+	for i := range vals {
+		vals[i] = 100
+	}
+	exact := &NoisyOracle{Oracle: Oracle{Values: vals}, RelError: 0}
+	var errSum float64
+	for i := 0; i < 400; i++ {
+		f := exact.Predict(1)[0]
+		errSum += math.Abs(f - 100)
+		exact.Observe(0)
+	}
+	if errSum != 0 {
+		t.Fatalf("zero-noise oracle must be exact, err sum %v", errSum)
+	}
+	noisy := &NoisyOracle{Oracle: Oracle{Values: vals}, RelError: 0.2}
+	var rel []float64
+	for i := 0; i < 400; i++ {
+		f := noisy.Predict(1)[0]
+		rel = append(rel, (f-100)/100)
+		noisy.Observe(0)
+	}
+	sd := stats.StdDev(rel)
+	if sd < 0.1 || sd > 0.3 {
+		t.Fatalf("noisy oracle relative error sd = %v, want ≈0.2", sd)
+	}
+}
+
+func wikiSeries(seed int64) *trace.Series {
+	cfg := trace.WikipediaLike(seed)
+	return cfg.Generate()
+}
+
+func TestSplinePredictorLearnsDiurnalPattern(t *testing.T) {
+	s := wikiSeries(11)
+	p := NewSplinePredictor(SplineConfig{ARLag1: true}, 4)
+	res := Backtest(p, s, 14*24) // paper's two-week training window
+	if res.MAPE > 0.10 {
+		t.Fatalf("spline predictor MAPE = %v, want < 10%% (paper reports 3-5%%)", res.MAPE)
+	}
+}
+
+func TestSplinePredictorBeatsReactive(t *testing.T) {
+	s := wikiSeries(12)
+	spline := NewSplinePredictor(SplineConfig{ARLag1: true}, 1)
+	reactive := &Reactive{}
+	rs := Backtest(spline, s, 14*24)
+	rr := Backtest(reactive, s, 14*24)
+	if rs.MAPE >= rr.MAPE {
+		t.Fatalf("spline MAPE %v should beat reactive %v on a diurnal trace", rs.MAPE, rr.MAPE)
+	}
+}
+
+func TestCIPaddingShiftsErrorsPositive(t *testing.T) {
+	// The paper's §6.2 comparison: with the 99% CI upper bound, the error
+	// distribution shifts into over-provisioning; under-provisioning events
+	// become rare and small.
+	s := wikiSeries(13)
+	base := NewSplinePredictor(SplineConfig{ARLag1: true}, 1)
+	padded := NewSplinePredictor(SplineConfig{ARLag1: true, CIProb: 0.99}, 1)
+	rb := Backtest(base, s, 14*24)
+	rp := Backtest(padded, s, 14*24)
+	if rp.UnderFraction >= rb.UnderFraction {
+		t.Fatalf("padding should reduce under-provisioning: padded %v vs base %v",
+			rp.UnderFraction, rb.UnderFraction)
+	}
+	if rp.MeanOver <= rb.MeanOver {
+		t.Fatalf("padding should increase mean over-provisioning: %v vs %v",
+			rp.MeanOver, rb.MeanOver)
+	}
+	if rp.UnderFraction > 0.10 {
+		t.Fatalf("padded under-provisioning fraction %v too high", rp.UnderFraction)
+	}
+	// Paper: max under-provisioning below ~3.2%, reported against ~16%
+	// for the unpadded baseline. We enforce the qualitative gap.
+	if rp.MaxUnder >= rb.MaxUnder {
+		t.Fatalf("padded max under %v should be below baseline %v", rp.MaxUnder, rb.MaxUnder)
+	}
+}
+
+func TestSplinePredictorNonNegative(t *testing.T) {
+	p := NewSplinePredictor(SplineConfig{CIProb: 0.99}, 2)
+	// Tiny loads must not produce negative forecasts.
+	for i := 0; i < 100; i++ {
+		p.Observe(0.001)
+	}
+	for _, v := range p.Predict(2) {
+		if v < 0 {
+			t.Fatalf("negative forecast %v", v)
+		}
+	}
+}
+
+func TestSplinePredictorReactiveFallback(t *testing.T) {
+	p := NewSplinePredictor(SplineConfig{}, 1)
+	if got := p.Predict(1)[0]; got != 0 {
+		t.Fatalf("empty-history forecast = %v, want 0", got)
+	}
+	p.Observe(42)
+	if got := p.Predict(1)[0]; got != 42 {
+		t.Fatalf("pre-fit forecast = %v, want reactive 42", got)
+	}
+}
+
+func TestPredictZeroHorizon(t *testing.T) {
+	p := NewSplinePredictor(SplineConfig{}, 1)
+	if out := p.Predict(0); out != nil {
+		t.Fatalf("Predict(0) = %v, want nil", out)
+	}
+}
+
+func TestMultiHorizonBacktest(t *testing.T) {
+	s := wikiSeries(14)
+	mapes := MultiHorizonBacktest(func() Predictor {
+		return NewSplinePredictor(SplineConfig{ARLag1: true}, 6)
+	}, s, 14*24, 6)
+	if len(mapes) != 6 {
+		t.Fatalf("len = %d", len(mapes))
+	}
+	for h, m := range mapes {
+		if m <= 0 || m > 0.25 {
+			t.Fatalf("horizon %d MAPE %v out of plausible range", h+1, m)
+		}
+	}
+	// Longest horizon should not be more accurate than 1-step (weakly).
+	if mapes[5] < mapes[0]*0.8 {
+		t.Fatalf("6-step MAPE %v implausibly better than 1-step %v", mapes[5], mapes[0])
+	}
+}
+
+func TestBacktestStatsConsistency(t *testing.T) {
+	s := wikiSeries(15)
+	p := NewSplinePredictor(SplineConfig{ARLag1: true}, 1)
+	res := Backtest(p, s, 14*24)
+	if len(res.RelErrors) == 0 {
+		t.Fatal("no scored intervals")
+	}
+	var worstUnder float64
+	for _, e := range res.RelErrors {
+		if e < 0 && -e > worstUnder {
+			worstUnder = -e
+		}
+	}
+	if math.Abs(worstUnder-res.MaxUnder) > 1e-12 {
+		t.Fatalf("MaxUnder inconsistent: %v vs %v", res.MaxUnder, worstUnder)
+	}
+}

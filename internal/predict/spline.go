@@ -1,0 +1,90 @@
+// Package predict implements SpotWeb's transiency-aware predictors (§4.3):
+// a cubic-spline regression workload predictor with an AR(1) spike model and
+// 99% confidence-interval over-provisioning, extended to multi-horizon
+// forecasts for the MPO optimizer; the paper-[1] baseline predictor (same
+// machinery, no CI padding); reactive predictors (next value = current
+// value) for failure probabilities and prices; oracle and noisy-oracle
+// predictors used by the evaluation (Figs. 5, 6(a), 7(a)).
+package predict
+
+import (
+	"fmt"
+
+	"repro/internal/linalg"
+)
+
+// NaturalSplineBasis is a natural cubic spline basis on a fixed knot
+// sequence, in the truncated-power form of Hastie et al.: the function space
+// is cubic between knots and linear beyond the boundary knots, with
+// dimension K (for K knots): 1, x, and K−2 shaped basis functions.
+type NaturalSplineBasis struct {
+	Knots []float64
+}
+
+// NewNaturalSplineBasis builds a basis with evenly spaced knots over
+// [lo, hi]. numKnots must be ≥ 3.
+func NewNaturalSplineBasis(lo, hi float64, numKnots int) *NaturalSplineBasis {
+	if numKnots < 3 || hi <= lo {
+		panic(fmt.Sprintf("predict: invalid spline basis spec [%v,%v] K=%d", lo, hi, numKnots))
+	}
+	knots := make([]float64, numKnots)
+	for i := range knots {
+		knots[i] = lo + (hi-lo)*float64(i)/float64(numKnots-1)
+	}
+	return &NaturalSplineBasis{Knots: knots}
+}
+
+// Dim returns the number of basis functions (== number of knots).
+func (b *NaturalSplineBasis) Dim() int { return len(b.Knots) }
+
+func cube(x float64) float64 { return x * x * x }
+
+func pos3(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return cube(x)
+}
+
+// Eval writes the basis functions evaluated at x into dst (length Dim).
+func (b *NaturalSplineBasis) Eval(x float64, dst []float64) {
+	k := len(b.Knots)
+	if len(dst) != k {
+		panic("predict: spline Eval dst length mismatch")
+	}
+	dst[0] = 1
+	dst[1] = x
+	kLast := b.Knots[k-1]
+	kPrev := b.Knots[k-2]
+	dK1 := func(x float64) float64 { // d_{K-1}(x)
+		return (pos3(x-kPrev) - pos3(x-kLast)) / (kLast - kPrev)
+	}
+	for j := 0; j < k-2; j++ {
+		kj := b.Knots[j]
+		dj := (pos3(x-kj) - pos3(x-kLast)) / (kLast - kj)
+		dst[j+2] = dj - dK1(x)
+	}
+}
+
+// RidgeRegression solves min ‖Xw − y‖² + λ‖w‖² via the normal equations
+// (XᵀX + λI)w = Xᵀy using a Cholesky factorization. X is given row-major as
+// a design matrix.
+func RidgeRegression(x *linalg.Matrix, y linalg.Vector, lambda float64) (linalg.Vector, error) {
+	if x.Rows != len(y) {
+		return nil, fmt.Errorf("predict: design matrix has %d rows, y has %d", x.Rows, len(y))
+	}
+	if lambda < 0 {
+		return nil, fmt.Errorf("predict: negative ridge %v", lambda)
+	}
+	xtx := x.AtA()
+	xtx.AddDiag(lambda + 1e-10)
+	xty := linalg.NewVector(x.Cols)
+	x.MulVecT(y, xty)
+	f, err := linalg.Cholesky(xtx)
+	if err != nil {
+		return nil, err
+	}
+	w := linalg.NewVector(x.Cols)
+	f.Solve(xty, w)
+	return w, nil
+}

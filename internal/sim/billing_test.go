@@ -1,0 +1,179 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/market"
+)
+
+// stablePolicy keeps a fixed fleet; flipFlopPolicy alternates markets every
+// interval — the churn worst case.
+type flipFlopPolicy struct{ i int }
+
+func (p *flipFlopPolicy) Name() string { return "flipflop" }
+func (p *flipFlopPolicy) Decide(int, float64) ([]int, error) {
+	p.i++
+	if p.i%2 == 0 {
+		return []int{4, 0, 0}, nil
+	}
+	return []int{0, 2, 0}, nil
+}
+
+func TestHourlyBillingPenalizesChurn(t *testing.T) {
+	run := func(pol Policy, perSecond bool) *Result {
+		cat := noFailCatalog(48)
+		s := &Simulator{
+			Cfg:      Config{Seed: 1, TransiencyAware: true, PerSecondBilling: perSecond},
+			Cat:      cat,
+			Workload: flatWorkload(48, 300),
+			Policy:   pol,
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	stable := run(&fixedPolicy{counts: []int{4, 0, 0}, name: "stable"}, false)
+	churny := run(&flipFlopPolicy{}, false)
+	// Under hourly billing the flip-flopper pays for two fleets worth of
+	// started hours (make-before-break overlap + abandoned hours).
+	if churny.TotalCost < 1.3*stable.TotalCost {
+		t.Fatalf("hourly billing should punish churn: churny %v vs stable %v",
+			churny.TotalCost, stable.TotalCost)
+	}
+	// Per-second billing narrows the gap substantially.
+	churnyPS := run(&flipFlopPolicy{}, true)
+	stablePS := run(&fixedPolicy{counts: []int{4, 0, 0}, name: "stable"}, true)
+	gapHourly := churny.TotalCost / stable.TotalCost
+	gapPS := churnyPS.TotalCost / stablePS.TotalCost
+	if gapPS >= gapHourly {
+		t.Fatalf("per-second billing should narrow the churn gap: %v vs %v", gapPS, gapHourly)
+	}
+}
+
+func TestHourlyBillingEqualsPerSecondForStableFleet(t *testing.T) {
+	// A fleet held for whole hours costs the same under either model (the
+	// catalog step is one hour).
+	mk := func(perSecond bool) *Result {
+		cat := noFailCatalog(24)
+		s := &Simulator{
+			Cfg:      Config{Seed: 1, TransiencyAware: true, PerSecondBilling: perSecond},
+			Cat:      cat,
+			Workload: flatWorkload(24, 300),
+			Policy:   &fixedPolicy{counts: []int{4, 0, 0}, name: "stable"},
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	hourly, perSec := mk(false), mk(true)
+	if math.Abs(hourly.TotalCost-perSec.TotalCost) > 0.05*perSec.TotalCost {
+		t.Fatalf("stable fleet costs diverge: hourly %v vs per-second %v",
+			hourly.TotalCost, perSec.TotalCost)
+	}
+}
+
+func TestMaxLifetimeForcesRevocations(t *testing.T) {
+	cat := noFailCatalog(24 * 4) // zero failure probability
+	run := func(maxLife float64) *Result {
+		s := &Simulator{
+			Cfg: Config{Seed: 2, TransiencyAware: true, MaxLifetimeHrs: maxLife},
+			Cat: cat, Workload: flatWorkload(24*4, 300),
+			Policy: &fixedPolicy{counts: []int{4, 0, 0}, name: "stable"},
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	unlimited := run(0)
+	if unlimited.Launches > 10 {
+		t.Fatalf("without lifetime limit the fleet should be stable, %d launches", unlimited.Launches)
+	}
+	limited := run(24)
+	// Every server is replaced roughly every 24 h over 4 days.
+	if limited.Launches < 3*4 {
+		t.Fatalf("24 h lifetime should force replacements: %d launches", limited.Launches)
+	}
+	// The transiency-aware path keeps drops negligible despite the forced
+	// churn (Google-regime claim from §7).
+	if f := limited.DropFraction(); f > 0.01 {
+		t.Fatalf("drop fraction %v under lifetime churn", f)
+	}
+}
+
+func TestQueueDeadlineDelaysInsteadOfDropping(t *testing.T) {
+	// 2 servers × 100 req/s SLO capacity against a square wave bursting to
+	// 260 req/s and relaxing to 140: pure-drop loses each burst's overload;
+	// with a queue deadline the backlog drains into the slack and is served
+	// late (as violations) instead.
+	wave := flatWorkload(24, 0)
+	for i := range wave.Values {
+		if i%2 == 0 {
+			wave.Values[i] = 260
+		} else {
+			wave.Values[i] = 140
+		}
+	}
+	mk := func(deadline float64) *Result {
+		cat := noFailCatalog(24)
+		s := &Simulator{
+			Cfg: Config{Seed: 5, TransiencyAware: true, QueueDeadlineSec: deadline},
+			Cat: cat, Workload: wave,
+			Policy: &fixedPolicy{counts: []int{2, 0, 0}, name: "tight"},
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	drop := mk(0)
+	queue := mk(30)
+	if drop.DropFraction() < 0.05 {
+		t.Fatalf("pure-drop baseline should drop noticeably, got %v", drop.DropFraction())
+	}
+	if queue.DropFraction() >= drop.DropFraction() {
+		t.Fatalf("queueing should reduce drops: %v vs %v",
+			queue.DropFraction(), drop.DropFraction())
+	}
+	// Delayed requests still violate the SLO, so violations stay high.
+	if queue.ViolationPct < 5 {
+		t.Fatalf("delayed overload must count as violations, got %v%%", queue.ViolationPct)
+	}
+	// Conservation: queueing serves more requests in total.
+	if queue.Served <= drop.Served {
+		t.Fatalf("queueing should serve more: %v vs %v", queue.Served, drop.Served)
+	}
+}
+
+func TestMaxLifetimeSparesOnDemand(t *testing.T) {
+	cat := market.CatalogConfig{Seed: 3, NumTypes: 2, IncludeOnDemand: true, Hours: 24 * 3}.Generate()
+	for _, m := range cat.Markets {
+		if m.Transient {
+			for i := range m.FailProb.Values {
+				m.FailProb.Values[i] = 0
+			}
+		}
+	}
+	// Put everything on the on-demand market (index 1).
+	counts := make([]int, cat.Len())
+	counts[1] = 3
+	s := &Simulator{
+		Cfg: Config{Seed: 3, TransiencyAware: true, MaxLifetimeHrs: 24},
+		Cat: cat, Workload: flatWorkload(24*3, 100),
+		Policy: &fixedPolicy{counts: counts, name: "od"},
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Launches > 4 {
+		t.Fatalf("on-demand servers must not be lifetime-limited: %d launches", res.Launches)
+	}
+}

@@ -1,0 +1,478 @@
+// Package sim is the discrete-event simulator standing in for the paper's
+// Python simulator: it drives a provisioning policy (SpotWeb or a baseline)
+// against a workload trace and a market catalog, samples correlated
+// transient-server revocations, models within-interval capacity dynamics
+// (revocation warnings, draining, replacement start-up, cache warm-up) on a
+// sub-interval grid, and accounts cost, drops, latency and SLO violations.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/cluster"
+	"repro/internal/lb"
+	"repro/internal/market"
+	"repro/internal/trace"
+)
+
+// Policy decides target per-market server counts for the next interval.
+// Implementations live in internal/autoscale (baselines) and wrap the
+// portfolio planner (SpotWeb).
+type Policy interface {
+	// Name identifies the policy in experiment output.
+	Name() string
+	// Decide observes the actual workload of interval t and returns the
+	// target server counts per market for interval t+1.
+	Decide(t int, observedLambda float64) ([]int, error)
+}
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Seed drives revocation sampling.
+	Seed int64
+	// WarningSec is the revocation warning period (paper: 30–120 s).
+	WarningSec float64
+	// StartDelaySec is the VM start-up time (paper measures < 60 s).
+	StartDelaySec float64
+	// WarmupSec is the cache warm-up window (paper: 30–90 s).
+	WarmupSec float64
+	// DetectionDelaySec is how long a transiency-UNAWARE balancer keeps
+	// routing to dead servers before health checks notice.
+	DetectionDelaySec float64
+	// SLOLatencySec is the latency SLO threshold (paper: 99% < 1 s).
+	SLOLatencySec float64
+	// GroupCorrelation is the within-group revocation correlation in [0,1).
+	GroupCorrelation float64
+	// TransiencyAware selects SpotWeb's LB behaviour; false reproduces the
+	// vanilla-HAProxy baseline.
+	TransiencyAware bool
+	// PerSecondBilling charges servers pro-rata per interval. The default
+	// (false) is hourly billing: every started instance-hour is paid in
+	// full even if the server is stopped early — the transaction cost that
+	// penalizes portfolio churn (§5.1 notes e.g. Azure bills hourly).
+	PerSecondBilling bool
+	// MaxLifetimeHrs terminates every transient server after this many
+	// hours with the standard warning (Google preemptible VMs are killed at
+	// 24 h, §7). Zero disables the limit.
+	MaxLifetimeHrs float64
+	// QueueDeadlineSec lets the admission controller *delay* rather than
+	// drop overload (§4.4: "dropping or delaying requests"): excess
+	// requests wait in a bounded FIFO and are served late (counted as SLO
+	// violations) unless they would exceed this deadline, in which case
+	// they are dropped. Zero disables queueing (pure drop).
+	QueueDeadlineSec float64
+	// SubSteps is the within-interval simulation resolution (default 60).
+	SubSteps int
+	// Latency is the queueing model.
+	Latency cluster.LatencyModel
+}
+
+// WithDefaults fills unset fields with the paper's testbed values.
+func (c Config) WithDefaults() Config {
+	if c.WarningSec <= 0 {
+		c.WarningSec = 120
+	}
+	if c.StartDelaySec <= 0 {
+		c.StartDelaySec = 55
+	}
+	if c.WarmupSec <= 0 {
+		c.WarmupSec = 60
+	}
+	if c.DetectionDelaySec <= 0 {
+		c.DetectionDelaySec = 10
+	}
+	if c.SLOLatencySec <= 0 {
+		c.SLOLatencySec = 1.0
+	}
+	if c.GroupCorrelation < 0 || c.GroupCorrelation >= 1 {
+		c.GroupCorrelation = 0.7
+	}
+	if c.SubSteps <= 0 {
+		c.SubSteps = 60
+	}
+	if c.Latency.BaseServiceTime <= 0 {
+		c.Latency = cluster.DefaultLatencyModel()
+	}
+	if c.Latency.SLOTarget <= 0 {
+		c.Latency.SLOTarget = c.SLOLatencySec
+	}
+	c.TransiencyAware = c.TransiencyAware || false
+	return c
+}
+
+// IntervalMetrics records one interval of the run.
+type IntervalMetrics struct {
+	T        int
+	Lambda   float64 // offered req/s
+	Capacity float64 // mean effective capacity over the interval
+	Cost     float64 // $ spent this interval
+	Served   float64 // request-seconds served (rate × time)
+	Dropped  float64 // request-seconds dropped
+	Latency  float64 // served-weighted mean latency (s)
+	// Violations is the fraction of offered requests violating the SLO
+	// (dropped or served above the latency threshold).
+	Violations float64
+	// Counts is the per-market live server count at interval end.
+	Counts []int
+	// Revoked lists markets revoked during the interval.
+	Revoked []int
+}
+
+// Result aggregates a run.
+type Result struct {
+	Policy       string
+	TotalCost    float64
+	Served       float64 // total request-count served (≈ rate·seconds)
+	Dropped      float64
+	MeanLatency  float64 // served-weighted
+	ViolationPct float64 // offered-weighted SLO violation percentage
+	Revocations  int
+	Launches     int
+	Stops        int
+	Intervals    []IntervalMetrics
+}
+
+// DropFraction returns dropped / offered.
+func (r *Result) DropFraction() float64 {
+	total := r.Served + r.Dropped
+	if total == 0 {
+		return 0
+	}
+	return r.Dropped / total
+}
+
+// Simulator binds a catalog, workload and policy.
+type Simulator struct {
+	Cfg      Config
+	Cat      *market.Catalog
+	Workload *trace.Series
+	Policy   Policy
+}
+
+// revocation is an in-flight within-interval event.
+type revocation struct {
+	market  int
+	warnAt  float64 // hours
+	handled bool
+}
+
+// deadRouting models a transiency-unaware balancer still sending a fraction
+// of requests to terminated servers until health checks react.
+type deadRouting struct {
+	until    float64
+	fraction float64
+}
+
+// Run executes the simulation over the whole workload trace.
+func (s *Simulator) Run() (*Result, error) {
+	cfg := s.Cfg.WithDefaults()
+	if err := s.Cat.Validate(); err != nil {
+		return nil, err
+	}
+	if s.Workload.Len() < 2 {
+		return nil, fmt.Errorf("sim: workload too short")
+	}
+	stepHrs := s.Cat.StepHrs
+	secPerHr := 3600.0
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	cl := cluster.New(cfg.StartDelaySec/secPerHr, cfg.WarmupSec/secPerHr, 0.4)
+	caps := make([]float64, s.Cat.Len())
+	for i, m := range s.Cat.Markets {
+		caps[i] = m.Type.Capacity
+	}
+
+	res := &Result{Policy: s.Policy.Name()}
+	var latWeighted, servedTotal, offeredTotal, violTotal float64
+	var dead []deadRouting
+	var backlog float64                  // queued (delayed) requests
+	billedUntil := make(map[int]float64) // server ID → hours paid through
+
+	n := s.Workload.Len()
+	for t := 1; t < n; t++ {
+		tStart := float64(t) * stepHrs
+		tEnd := tStart + stepHrs
+		lambda := s.Workload.At(t)
+
+		// Policy observes interval t-1 and plans interval t.
+		counts, err := s.Policy.Decide(t-1, s.Workload.At(t-1))
+		if err != nil {
+			return nil, fmt.Errorf("sim: policy %s at t=%d: %w", s.Policy.Name(), t, err)
+		}
+		if len(counts) != s.Cat.Len() {
+			return nil, fmt.Errorf("sim: policy returned %d counts, want %d", len(counts), s.Cat.Len())
+		}
+		scaleAt := tStart
+		if t == 1 {
+			// Bootstrap: the initial fleet is brought up before the first
+			// interval so the run does not start with an empty, booting
+			// cluster (the paper's testbed likewise starts warmed).
+			scaleAt = tStart - (cfg.StartDelaySec+cfg.WarmupSec+1)/secPerHr
+		}
+		started, stopped := cl.ScaleTo(counts, caps, scaleAt)
+		res.Launches += started
+		res.Stops += stopped
+
+		// Sample correlated revocations for this interval (Gaussian copula
+		// over market groups).
+		var revs []*revocation
+		groupShock := map[int]float64{}
+		for i, m := range s.Cat.Markets {
+			if !m.Transient {
+				continue
+			}
+			if len(cl.ServersInMarket(i)) == 0 {
+				continue
+			}
+			f := m.FailProbAt(t)
+			if f <= 0 {
+				continue
+			}
+			zg, ok := groupShock[m.Group]
+			if !ok {
+				zg = rng.NormFloat64()
+				groupShock[m.Group] = zg
+			}
+			rho := cfg.GroupCorrelation
+			z := rho*zg + math.Sqrt(1-rho*rho)*rng.NormFloat64()
+			// Revoke when the market's latent demand shock falls in the
+			// lower f-quantile.
+			if normCDF(z) < f {
+				revs = append(revs, &revocation{
+					market: i,
+					warnAt: tStart + stepHrs*(0.2+0.6*rng.Float64()),
+				})
+				res.Revocations++
+			}
+		}
+
+		// Sub-interval fluid simulation.
+		sub := stepHrs / float64(cfg.SubSteps)
+		var im IntervalMetrics
+		im.T = t
+		im.Lambda = lambda
+		var capSum, imLatWeighted float64
+		warningHrs := cfg.WarningSec / secPerHr
+		for k := 0; k < cfg.SubSteps; k++ {
+			now := tStart + (float64(k)+0.5)*sub
+			// Enforce the provider's maximum instance lifetime (Google
+			// preemptible semantics): age out transient servers gracefully.
+			// The transiency-aware controller starts a same-market
+			// replacement at the warning so lifetime expiry never leaves a
+			// capacity hole (§7: the transiency-aware balancer handles the
+			// 24 h termination).
+			if cfg.MaxLifetimeHrs > 0 {
+				for _, srv := range cl.Servers() {
+					if srv.State() == cluster.StateDraining || srv.State() == cluster.StateTerminated {
+						continue
+					}
+					if !s.Cat.Markets[srv.Market].Transient {
+						continue
+					}
+					if now-srv.LaunchedAt() >= cfg.MaxLifetimeHrs {
+						mkt := srv.Market
+						cl.RevokeWarning(srv.ID, now, warningHrs)
+						if cfg.TransiencyAware {
+							cl.Launch(mkt, caps[mkt], now)
+							res.Launches++
+						}
+					}
+				}
+			}
+			// Fire revocation warnings.
+			for _, rv := range revs {
+				if rv.handled || now < rv.warnAt {
+					continue
+				}
+				rv.handled = true
+				lost := 0.0
+				for _, srv := range cl.ServersInMarket(rv.market) {
+					lost += srv.EffectiveCapacity(now)
+					cl.RevokeWarning(srv.ID, rv.warnAt, warningHrs)
+				}
+				im.Revoked = append(im.Revoked, rv.market)
+				if cfg.TransiencyAware {
+					// The LB receives the warning: decide per §6.1.
+					remaining := cl.TotalCapacity(now) // draining still serves
+					post := remaining - lost
+					util := 1.0
+					if post > 0 {
+						util = lambda / post
+					}
+					action := lb.DecideRevocation(util, 0.85, cfg.StartDelaySec, cfg.WarningSec)
+					if action != lb.ActionRedistribute {
+						// Reprovision: replace lost capacity in the cheapest
+						// surviving transient market (reactive reprovision).
+						repl := s.cheapestAlive(t, revs)
+						if repl >= 0 {
+							need := int(math.Ceil(lost / caps[repl]))
+							for r := 0; r < need; r++ {
+								cl.Launch(repl, caps[repl], rv.warnAt)
+								res.Launches++
+							}
+						}
+					}
+				} else {
+					// Vanilla balancer: keeps routing to the dead servers
+					// after termination until health checks notice.
+					total := cl.TotalCapacity(now)
+					frac := 0.0
+					if total > 0 {
+						frac = lost / total
+					}
+					dead = append(dead, deadRouting{
+						until:    rv.warnAt + warningHrs + cfg.DetectionDelaySec/secPerHr,
+						fraction: frac,
+					})
+				}
+			}
+			// Hourly billing accrues the moment an instance-hour starts:
+			// a server alive now owes the full hour even if it terminates
+			// minutes later (the churn cost of abandoned hours).
+			if !cfg.PerSecondBilling {
+				for _, srv := range cl.Servers() {
+					if srv.State() == cluster.StateTerminated {
+						continue
+					}
+					until, ok := billedUntil[srv.ID]
+					if !ok {
+						until = srv.LaunchedAt()
+					}
+					price := s.Cat.Markets[srv.Market].PriceAt(t)
+					for until <= now {
+						im.Cost += price
+						until += 1.0
+					}
+					billedUntil[srv.ID] = until
+				}
+			}
+			cl.Advance(now)
+			capNow := cl.TotalCapacity(now)
+			capSum += capNow
+
+			offered := lambda
+			// Dead-routing drops (vanilla only): that traffic share never
+			// reaches a live server once the revoked machines terminate.
+			deadFrac := 0.0
+			for _, d := range dead {
+				if now >= d.until-cfg.DetectionDelaySec/secPerHr && now < d.until {
+					deadFrac += d.fraction
+				}
+			}
+			if deadFrac > 0.9 {
+				deadFrac = 0.9
+			}
+			deadDrop := offered * deadFrac
+			offered -= deadDrop
+
+			served, dropped, lat := cfg.Latency.Interval(offered, capNow)
+			dt := sub * secPerHr // seconds in this sub-step
+
+			// Admission-control queueing: overload waits in a bounded FIFO
+			// instead of dropping, and is served late from spare capacity.
+			var servedLate float64
+			if cfg.QueueDeadlineSec > 0 {
+				// Spare service rate beyond current arrivals drains the
+				// backlog (in requests).
+				spare := capNow - served
+				if spare > 0 && backlog > 0 {
+					drain := math.Min(backlog, spare*dt)
+					backlog -= drain
+					servedLate = drain
+				}
+				// Queue this sub-step's overload up to the deadline bound.
+				maxBacklog := capNow * cfg.QueueDeadlineSec
+				queued := math.Min(dropped*dt, math.Max(0, maxBacklog-backlog))
+				backlog += queued
+				dropped -= queued / dt
+			}
+			dropped += deadDrop
+			im.Served += served*dt + servedLate
+			im.Dropped += dropped * dt
+			latWeighted += lat*served*dt + cfg.SLOLatencySec*2*servedLate
+			imLatWeighted += lat*served*dt + cfg.SLOLatencySec*2*servedLate
+			viol := dropped*dt + servedLate // delayed requests violate the SLO
+			if lat > cfg.SLOLatencySec {
+				viol += served * dt
+			}
+			im.Violations += viol
+			violTotal += viol
+		}
+		// Per-second billing charges each live server pro-rata at interval
+		// end; hourly billing accrued inside the sub-step loop above.
+		if cfg.PerSecondBilling {
+			for _, srv := range cl.Servers() {
+				price := s.Cat.Markets[srv.Market].PriceAt(t)
+				im.Cost += price * stepHrs
+			}
+		} else {
+			// Drop billing state for servers whose paid-through time has
+			// lapsed (they are gone and fully accounted).
+			for id, until := range billedUntil {
+				if until < tStart {
+					delete(billedUntil, id)
+				}
+			}
+		}
+		res.TotalCost += im.Cost
+		im.Capacity = capSum / float64(cfg.SubSteps)
+		offered := lambda * stepHrs * secPerHr
+		if offered > 0 {
+			im.Violations /= offered
+		}
+		offeredTotal += offered
+		servedTotal += im.Served
+		res.Served += im.Served
+		res.Dropped += im.Dropped
+		im.Counts = cl.CountByMarket(s.Cat.Len())
+		if im.Served > 0 {
+			im.Latency = imLatWeighted / im.Served
+		}
+		res.Intervals = append(res.Intervals, im)
+
+		// Advance to the interval boundary.
+		cl.Advance(tEnd)
+	}
+	if servedTotal > 0 {
+		res.MeanLatency = latWeighted / servedTotal
+	}
+	if offeredTotal > 0 {
+		res.ViolationPct = 100 * violTotal / offeredTotal
+	}
+	return res, nil
+}
+
+// cheapestAlive returns the cheapest transient market not currently being
+// revoked, or -1.
+func (s *Simulator) cheapestAlive(t int, revs []*revocation) int {
+	revoked := map[int]bool{}
+	for _, r := range revs {
+		revoked[r.market] = true
+	}
+	best, bestCost := -1, 0.0
+	for i, m := range s.Cat.Markets {
+		if !m.Transient || revoked[i] {
+			continue
+		}
+		c := m.PerRequestCostAt(t)
+		if best == -1 || c < bestCost {
+			best, bestCost = i, c
+		}
+	}
+	if best == -1 {
+		// Fall back to any on-demand market.
+		for i, m := range s.Cat.Markets {
+			if !m.Transient {
+				return i
+			}
+		}
+	}
+	return best
+}
+
+// normCDF is the standard normal CDF.
+func normCDF(x float64) float64 {
+	return 0.5 * (1 + math.Erf(x/math.Sqrt2))
+}

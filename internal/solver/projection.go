@@ -1,0 +1,166 @@
+package solver
+
+import (
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// ProjectBox projects x onto the box [lo, hi] element-wise, in place.
+func ProjectBox(x, lo, hi linalg.Vector) {
+	linalg.Clamp(x, lo, hi)
+}
+
+// BoxBand is the set {x : lo ≤ x ≤ hi, sumLo ≤ Σx ≤ sumHi} — a box
+// intersected with a budget band. This is exactly the per-period feasible
+// region of the SpotWeb portfolio program (constraints 7–10 of the paper:
+// A ≥ 0, A ≤ aMax, AMin ≤ ΣA ≤ AMax).
+type BoxBand struct {
+	Lo, Hi         linalg.Vector
+	SumLo, SumHi   float64
+	maxBisectIters int
+}
+
+// NewBoxBand constructs the set; it panics on dimension mismatch and returns
+// an unfeasible-set error through Feasible() rather than at construction.
+func NewBoxBand(lo, hi linalg.Vector, sumLo, sumHi float64) *BoxBand {
+	if len(lo) != len(hi) {
+		panic("solver: BoxBand lo/hi length mismatch")
+	}
+	return &BoxBand{Lo: lo, Hi: hi, SumLo: sumLo, SumHi: sumHi, maxBisectIters: 100}
+}
+
+// Feasible reports whether the set is non-empty.
+func (b *BoxBand) Feasible() bool {
+	var minSum, maxSum float64
+	for i := range b.Lo {
+		if b.Lo[i] > b.Hi[i] {
+			return false
+		}
+		minSum += b.Lo[i]
+		maxSum += b.Hi[i]
+	}
+	return b.SumLo <= b.SumHi && minSum <= b.SumHi && maxSum >= b.SumLo
+}
+
+// clipSum returns Σ_i clip(y_i − mu, lo_i, hi_i).
+func (b *BoxBand) clipSum(y linalg.Vector, mu float64) float64 {
+	var s float64
+	for i, v := range y {
+		z := v - mu
+		if z < b.Lo[i] {
+			z = b.Lo[i]
+		} else if z > b.Hi[i] {
+			z = b.Hi[i]
+		}
+		s += z
+	}
+	return s
+}
+
+// Project projects y onto the set in place. The projection is the Euclidean
+// one: first clip to the box; if the sum lands outside [SumLo, SumHi], solve
+// for the Lagrange multiplier μ of the active sum constraint by bisection on
+// the monotone function μ ↦ Σ clip(y−μ, lo, hi).
+func (b *BoxBand) Project(y linalg.Vector) {
+	if len(y) != len(b.Lo) {
+		panic("solver: BoxBand Project dimension mismatch")
+	}
+	s := b.clipSum(y, 0)
+	var target float64
+	switch {
+	case s > b.SumHi:
+		target = b.SumHi
+	case s < b.SumLo:
+		target = b.SumLo
+	default:
+		ProjectBox(y, b.Lo, b.Hi)
+		return
+	}
+	// Bracket μ. clipSum is nonincreasing in μ; find [muLo, muHi] such that
+	// clipSum(muLo) ≥ target ≥ clipSum(muHi).
+	muLo, muHi := 0.0, 0.0
+	if s > target {
+		// Need μ > 0. The largest useful μ drives everything to Lo.
+		muHi = 1.0
+		for b.clipSum(y, muHi) > target {
+			muHi *= 2
+			if muHi > 1e18 {
+				break
+			}
+		}
+	} else {
+		muLo = -1.0
+		for b.clipSum(y, muLo) < target {
+			muLo *= 2
+			if muLo < -1e18 {
+				break
+			}
+		}
+	}
+	for iter := 0; iter < b.maxBisectIters; iter++ {
+		mid := 0.5 * (muLo + muHi)
+		if b.clipSum(y, mid) > target {
+			muLo = mid
+		} else {
+			muHi = mid
+		}
+		if muHi-muLo < 1e-14*(1+math.Abs(muLo)) {
+			break
+		}
+	}
+	mu := 0.5 * (muLo + muHi)
+	for i, v := range y {
+		z := v - mu
+		if z < b.Lo[i] {
+			z = b.Lo[i]
+		} else if z > b.Hi[i] {
+			z = b.Hi[i]
+		}
+		y[i] = z
+	}
+}
+
+// ProductSet is a Cartesian product of BoxBand blocks: the horizon-stacked
+// feasible region of the multi-period program. Block k constrains
+// x[offsets[k] : offsets[k+1]].
+type ProductSet struct {
+	Blocks []*BoxBand
+	dims   []int
+	total  int
+}
+
+// NewProductSet builds a product of blocks laid out consecutively.
+func NewProductSet(blocks []*BoxBand) *ProductSet {
+	p := &ProductSet{Blocks: blocks}
+	for _, b := range blocks {
+		p.dims = append(p.dims, len(b.Lo))
+		p.total += len(b.Lo)
+	}
+	return p
+}
+
+// Dim returns the total stacked dimension.
+func (p *ProductSet) Dim() int { return p.total }
+
+// Feasible reports whether every block is feasible.
+func (p *ProductSet) Feasible() bool {
+	for _, b := range p.Blocks {
+		if !b.Feasible() {
+			return false
+		}
+	}
+	return true
+}
+
+// Project projects x block-by-block in place.
+func (p *ProductSet) Project(x linalg.Vector) {
+	if len(x) != p.total {
+		panic("solver: ProductSet Project dimension mismatch")
+	}
+	off := 0
+	for k, b := range p.Blocks {
+		b.Project(x[off : off+p.dims[k]])
+		off += p.dims[k]
+	}
+}

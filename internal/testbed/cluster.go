@@ -1,0 +1,414 @@
+package testbed
+
+import (
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/lb"
+)
+
+// ClusterConfig configures the testbed web cluster.
+type ClusterConfig struct {
+	// Backend is the template for launched servers.
+	Backend BackendConfig
+	// Warning is the revocation warning period.
+	Warning time.Duration
+	// Vanilla disables transiency awareness in the front-end balancer
+	// (unmodified-HAProxy baseline): warnings are ignored and dead backends
+	// are only removed after FailDetect consecutive request failures.
+	Vanilla bool
+	// FailDetect is the vanilla health-check failure threshold (default 20).
+	FailDetect int
+	// OnRequest, when set, observes every completed request (latency and
+	// whether it was dropped) — the hook the monitoring collector attaches
+	// to.
+	OnRequest func(latency time.Duration, dropped bool)
+}
+
+// Cluster is the testbed web cluster: backends plus the front-end balancer.
+// Its ServeHTTP is the load-balancer endpoint.
+type Cluster struct {
+	cfg      ClusterConfig
+	balancer *lb.Balancer
+	client   *http.Client
+
+	mu       sync.Mutex
+	backends map[int]*Backend
+	nextID   int
+	fails    map[int]int
+}
+
+// NewCluster starts an empty cluster with its load-balancer front end.
+func NewCluster(cfg ClusterConfig) *Cluster {
+	if cfg.FailDetect <= 0 {
+		cfg.FailDetect = 20
+	}
+	c := &Cluster{
+		cfg:      cfg,
+		balancer: lb.NewBalancer(),
+		backends: make(map[int]*Backend),
+		fails:    make(map[int]int),
+		client: &http.Client{
+			Timeout: 5 * time.Second,
+			Transport: &http.Transport{
+				MaxIdleConnsPerHost: 512,
+				MaxConnsPerHost:     0,
+			},
+		},
+	}
+	c.balancer.Vanilla = cfg.Vanilla
+	return c
+}
+
+// AddBackend launches a new server and registers it with the balancer using
+// a weight proportional to its capacity. The backend enters rotation only
+// once its simulated boot completes (a health-checked launch, as HAProxy
+// would do): routing to a booting server would shed every request.
+func (c *Cluster) AddBackend(capacity float64) *Backend {
+	c.mu.Lock()
+	id := c.nextID
+	c.nextID++
+	bcfg := c.cfg.Backend
+	bcfg.Capacity = capacity
+	b := newBackend(id, bcfg)
+	c.backends[id] = b
+	c.mu.Unlock()
+	if bcfg.StartDelay <= 0 {
+		c.balancer.WRR.SetWeight(id, capacity)
+	} else {
+		time.AfterFunc(bcfg.StartDelay, func() {
+			if !b.closed.Load() {
+				c.balancer.WRR.SetWeight(id, capacity)
+			}
+		})
+	}
+	return b
+}
+
+// AddBackendForMarket launches a backend tagged with a catalog market index,
+// enabling portfolio-driven scaling via ScaleTo.
+func (c *Cluster) AddBackendForMarket(mkt int, capacity float64) *Backend {
+	b := c.AddBackend(capacity)
+	c.mu.Lock()
+	b.Market = mkt
+	c.mu.Unlock()
+	return b
+}
+
+// MarketCounts returns live (non-draining) backend counts per market index.
+func (c *Cluster) MarketCounts(numMarkets int) []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]int, numMarkets)
+	for id, b := range c.backends {
+		if b.closed.Load() || c.balancer.Draining(id) {
+			continue
+		}
+		if b.Market >= 0 && b.Market < numMarkets {
+			out[b.Market]++
+		}
+	}
+	return out
+}
+
+// ScaleTo reconciles the cluster toward per-market backend counts: missing
+// backends are launched (they join rotation once booted); surplus backends
+// are drained gracefully — pulled from rotation immediately, terminated
+// after the warning period so in-flight work completes. It returns how many
+// were started and stopped.
+func (c *Cluster) ScaleTo(counts []int, capacities []float64) (started, stopped int) {
+	have := c.MarketCounts(len(counts))
+	for mkt, want := range counts {
+		for n := have[mkt]; n < want; n++ {
+			c.AddBackendForMarket(mkt, capacities[mkt])
+			started++
+		}
+		if surplus := have[mkt] - want; surplus > 0 {
+			c.mu.Lock()
+			var victims []*Backend
+			for id, b := range c.backends {
+				if b.Market == mkt && !b.closed.Load() && !c.balancer.Draining(id) {
+					victims = append(victims, b)
+					if len(victims) == surplus {
+						break
+					}
+				}
+			}
+			c.mu.Unlock()
+			for _, b := range victims {
+				c.drain(b)
+				stopped++
+			}
+		}
+	}
+	return started, stopped
+}
+
+// drain removes a backend from rotation and terminates it after the warning
+// period (voluntary scale-down; no replacement).
+func (c *Cluster) drain(b *Backend) {
+	// Redistribute is always safe for voluntary scale-down: the controller
+	// chose the smaller fleet deliberately.
+	c.balancer.HandleWarning(b.ID, 0, c.cfg.Backend.StartDelay.Seconds(), c.cfg.Warning.Seconds())
+	go func() {
+		time.Sleep(c.cfg.Warning)
+		b.terminate()
+		c.balancer.CompleteDrain(b.ID)
+	}()
+}
+
+// Snapshot returns a map of live (non-draining) backend id → market tag.
+func (c *Cluster) Snapshot() map[int]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[int]int)
+	for id, b := range c.backends {
+		if b.closed.Load() || c.balancer.Draining(id) {
+			continue
+		}
+		out[id] = b.Market
+	}
+	return out
+}
+
+// backend returns a backend by id.
+func (c *Cluster) backend(id int) *Backend {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.backends[id]
+}
+
+// TotalReadyCapacity sums the warm-adjusted capacity of ready, non-draining
+// backends.
+func (c *Cluster) TotalReadyCapacity() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var sum float64
+	for id, b := range c.backends {
+		if b.closed.Load() || !b.Ready() || c.balancer.Draining(id) {
+			continue
+		}
+		sum += b.cfg.Capacity * b.warmFactor()
+	}
+	return sum
+}
+
+// Revoke delivers a revocation warning for the given backends: the balancer
+// reacts per §6.1 (unless vanilla), replacement capacity is started when
+// needed, and the backends terminate after the warning period. offeredRate
+// is the current request rate used for the utilization decision.
+func (c *Cluster) Revoke(ids []int, offeredRate float64) {
+	var lost float64
+	for _, id := range ids {
+		if b := c.backend(id); b != nil {
+			lost += b.cfg.Capacity
+		}
+	}
+	for _, id := range ids {
+		b := c.backend(id)
+		if b == nil {
+			continue
+		}
+		if !c.cfg.Vanilla {
+			remaining := c.TotalReadyCapacity() - lost
+			util := 2.0
+			if remaining > 0 {
+				util = offeredRate / remaining
+			}
+			action, _ := c.balancer.HandleWarning(id, util,
+				c.cfg.Backend.StartDelay.Seconds(), c.cfg.Warning.Seconds())
+			if action != lb.ActionRedistribute {
+				// Start a replacement of equal capacity; it becomes
+				// routable as soon as it is ready.
+				c.AddBackend(b.cfg.Capacity)
+			}
+		}
+		go func(b *Backend, id int) {
+			time.Sleep(c.cfg.Warning)
+			b.terminate()
+			if !c.cfg.Vanilla {
+				c.balancer.CompleteDrain(id)
+			}
+		}(b, id)
+	}
+}
+
+// ServeHTTP implements the front-end load balancer: route, proxy, and (for
+// the vanilla baseline) health-check by consecutive failures. The
+// transiency-aware balancer redispatches a failed request once to another
+// backend, as HAProxy's redispatch option does; the vanilla baseline does
+// not.
+func (c *Cluster) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	session := r.Header.Get("X-Session")
+	if c.cfg.OnRequest != nil {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		c.serve(sw, session)
+		ok := sw.code == http.StatusOK || sw.code == 0
+		c.cfg.OnRequest(time.Since(start), !ok)
+		return
+	}
+	c.serve(w, session)
+}
+
+// statusWriter records the final status code.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (s *statusWriter) WriteHeader(code int) {
+	if s.code == 0 {
+		s.code = code
+	}
+	s.ResponseWriter.WriteHeader(code)
+}
+
+func (c *Cluster) serve(w http.ResponseWriter, session string) {
+	tries := 1
+	if !c.cfg.Vanilla {
+		tries = 2
+	}
+	for attempt := 0; attempt < tries; attempt++ {
+		id, ok := c.balancer.Route(session)
+		if !ok {
+			break
+		}
+		b := c.backend(id)
+		if b == nil {
+			continue
+		}
+		resp, err := c.client.Get(b.URL())
+		if err == nil && resp.StatusCode == http.StatusOK {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			c.noteSuccess(id)
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		if resp != nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		c.noteFailure(id)
+		// A failed sticky backend should not pin the retry: rebind.
+		if session != "" && !c.cfg.Vanilla {
+			c.balancer.Sessions.End(session)
+		}
+	}
+	http.Error(w, "backend failed", http.StatusBadGateway)
+}
+
+// noteFailure implements the vanilla health check: after FailDetect
+// consecutive failures the backend is removed from rotation.
+func (c *Cluster) noteFailure(id int) {
+	c.mu.Lock()
+	c.fails[id]++
+	n := c.fails[id]
+	c.mu.Unlock()
+	if c.cfg.Vanilla && n >= c.cfg.FailDetect {
+		c.balancer.WRR.Remove(id)
+	}
+}
+
+func (c *Cluster) noteSuccess(id int) {
+	c.mu.Lock()
+	if c.fails[id] != 0 {
+		c.fails[id] = 0
+	}
+	c.mu.Unlock()
+}
+
+// Close shuts down all backends.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, b := range c.backends {
+		b.terminate()
+	}
+}
+
+// LoadGen drives open-loop load at a fixed rate against the cluster's
+// front end for the given duration, recording every request. sessions > 0
+// cycles that many sticky session ids.
+func LoadGen(c *Cluster, rate float64, dur time.Duration, sessions int, rec *Recorder) {
+	interval := time.Duration(float64(time.Second) / rate)
+	deadline := time.Now().Add(dur)
+	var wg sync.WaitGroup
+	i := 0
+	// The LB hop runs in-process (ServeHTTP with a lightweight writer); the
+	// LB→backend hop — the latency that matters — is on real sockets.
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for now := range tick.C {
+		if now.After(deadline) {
+			break
+		}
+		i++
+		session := ""
+		if sessions > 0 {
+			session = "s" + itoa(i%sessions)
+		}
+		wg.Add(1)
+		go func(session string) {
+			defer wg.Done()
+			start := time.Now()
+			w := &sink{}
+			req, _ := http.NewRequest(http.MethodGet, "/", nil)
+			if session != "" {
+				req.Header.Set("X-Session", session)
+			}
+			c.ServeHTTP(w, req)
+			lat := time.Since(start)
+			rec.Record(lat, w.status() != http.StatusOK)
+		}(session)
+	}
+	wg.Wait()
+}
+
+// sink is a minimal concurrent-safe ResponseWriter.
+type sink struct {
+	mu   sync.Mutex
+	code int
+}
+
+func (s *sink) Header() http.Header { return http.Header{} }
+func (s *sink) Write(b []byte) (int, error) {
+	s.mu.Lock()
+	if s.code == 0 {
+		s.code = http.StatusOK
+	}
+	s.mu.Unlock()
+	return len(b), nil
+}
+func (s *sink) WriteHeader(code int) {
+	s.mu.Lock()
+	if s.code == 0 {
+		s.code = code
+	}
+	s.mu.Unlock()
+}
+func (s *sink) status() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.code == 0 {
+		return http.StatusOK
+	}
+	return s.code
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

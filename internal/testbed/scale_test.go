@@ -1,0 +1,92 @@
+package testbed
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestAddBackendForMarketAndCounts(t *testing.T) {
+	c := NewCluster(ClusterConfig{Backend: fastBackendCfg(), Warning: 100 * time.Millisecond})
+	defer c.Close()
+	c.AddBackendForMarket(0, 100)
+	c.AddBackendForMarket(0, 100)
+	c.AddBackendForMarket(2, 50)
+	counts := c.MarketCounts(3)
+	if counts[0] != 2 || counts[1] != 0 || counts[2] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+	snap := c.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+}
+
+func TestScaleToLaunchesAndDrains(t *testing.T) {
+	c := NewCluster(ClusterConfig{Backend: fastBackendCfg(), Warning: 80 * time.Millisecond})
+	defer c.Close()
+	caps := []float64{100, 50}
+	started, stopped := c.ScaleTo([]int{2, 1}, caps)
+	if started != 3 || stopped != 0 {
+		t.Fatalf("started/stopped = %d/%d", started, stopped)
+	}
+	if counts := c.MarketCounts(2); counts[0] != 2 || counts[1] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+	// Scale down: surplus drains (out of counts immediately) and
+	// terminates after the warning.
+	started, stopped = c.ScaleTo([]int{1, 1}, caps)
+	if started != 0 || stopped != 1 {
+		t.Fatalf("scale-down started/stopped = %d/%d", started, stopped)
+	}
+	if counts := c.MarketCounts(2); counts[0] != 1 {
+		t.Fatalf("draining backend still counted: %v", counts)
+	}
+	time.Sleep(150 * time.Millisecond)
+	// The drained backend is terminated; routing still works.
+	rec := NewRecorder()
+	LoadGen(c, 100, 200*time.Millisecond, 0, rec)
+	served, dropped := rec.Totals()
+	if served == 0 || dropped > served/20 {
+		t.Fatalf("post-drain serving broken: %d served, %d dropped", served, dropped)
+	}
+}
+
+func TestScaleToIdempotent(t *testing.T) {
+	c := NewCluster(ClusterConfig{Backend: fastBackendCfg(), Warning: 50 * time.Millisecond})
+	defer c.Close()
+	caps := []float64{100}
+	c.ScaleTo([]int{3}, caps)
+	started, stopped := c.ScaleTo([]int{3}, caps)
+	if started != 0 || stopped != 0 {
+		t.Fatalf("idempotent reconcile changed fleet: %d/%d", started, stopped)
+	}
+}
+
+func TestOnRequestHook(t *testing.T) {
+	var drops, serves atomic.Int64
+	cfg := ClusterConfig{
+		Backend: fastBackendCfg(),
+		Warning: time.Second,
+		OnRequest: func(_ time.Duration, dropped bool) {
+			if dropped {
+				drops.Add(1)
+			} else {
+				serves.Add(1)
+			}
+		},
+	}
+	c := NewCluster(cfg)
+	defer c.Close()
+	// No backends yet: requests drop.
+	rec := NewRecorder()
+	LoadGen(c, 50, 60*time.Millisecond, 0, rec)
+	if drops.Load() == 0 {
+		t.Fatal("hook missed the dropped requests")
+	}
+	c.AddBackend(100)
+	LoadGen(c, 50, 100*time.Millisecond, 0, rec)
+	if serves.Load() == 0 {
+		t.Fatal("hook missed served requests")
+	}
+}

@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV writes one or more series sharing a sampling step as CSV with a
+// leading time-in-hours column. All series must have the same length and
+// step.
+func WriteCSV(w io.Writer, series ...*Series) error {
+	if len(series) == 0 {
+		return fmt.Errorf("trace: no series to write")
+	}
+	n, step := series[0].Len(), series[0].StepHrs
+	for _, s := range series[1:] {
+		if s.Len() != n || s.StepHrs != step {
+			return fmt.Errorf("trace: series %q shape mismatch", s.Name)
+		}
+	}
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, len(series)+1)
+	header = append(header, "hours")
+	for _, s := range series {
+		header = append(header, s.Name)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(series)+1)
+	for i := 0; i < n; i++ {
+		row[0] = strconv.FormatFloat(float64(i)*step, 'g', -1, 64)
+		for j, s := range series {
+			row[j+1] = strconv.FormatFloat(s.Values[i], 'g', -1, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses CSV in the WriteCSV layout back into series. The step is
+// inferred from the first two time values (1.0 if only one row).
+func ReadCSV(r io.Reader) ([]*Series, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(records) < 2 {
+		return nil, fmt.Errorf("trace: CSV must have a header and at least one row")
+	}
+	header := records[0]
+	if len(header) < 2 || header[0] != "hours" {
+		return nil, fmt.Errorf("trace: CSV header must start with 'hours'")
+	}
+	nSeries := len(header) - 1
+	nRows := len(records) - 1
+	step := 1.0
+	if nRows >= 2 {
+		t0, err0 := strconv.ParseFloat(records[1][0], 64)
+		t1, err1 := strconv.ParseFloat(records[2][0], 64)
+		if err0 != nil || err1 != nil {
+			return nil, fmt.Errorf("trace: bad time column")
+		}
+		step = t1 - t0
+		if step <= 0 {
+			return nil, fmt.Errorf("trace: non-increasing time column")
+		}
+	}
+	out := make([]*Series, nSeries)
+	for j := 0; j < nSeries; j++ {
+		out[j] = &Series{Name: header[j+1], StepHrs: step, Values: make([]float64, nRows)}
+	}
+	for i := 1; i <= nRows; i++ {
+		if len(records[i]) != nSeries+1 {
+			return nil, fmt.Errorf("trace: row %d has %d fields, want %d", i, len(records[i]), nSeries+1)
+		}
+		for j := 0; j < nSeries; j++ {
+			v, err := strconv.ParseFloat(records[i][j+1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: row %d col %d: %w", i, j+1, err)
+			}
+			out[j].Values[i-1] = v
+		}
+	}
+	return out, nil
+}

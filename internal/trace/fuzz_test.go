@@ -1,0 +1,26 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV must never panic on malformed input — errors only.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("hours,a\n0,1\n1,2\n")
+	f.Add("hours,a,b\n0,1,x\n")
+	f.Add("")
+	f.Add("time,a\n0,1\n")
+	f.Add("hours,a\n1,1\n0,2\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		series, err := ReadCSV(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, s := range series {
+			if s.Len() == 0 || s.StepHrs <= 0 {
+				t.Fatalf("accepted malformed series: %+v", s)
+			}
+		}
+	})
+}

@@ -1,0 +1,62 @@
+package trace
+
+import "fmt"
+
+// Resample converts a series to a different sampling rate. Upsampling
+// interpolates linearly between samples (replaying an hourly trace at
+// 15-minute decision intervals); downsampling averages whole buckets
+// (summarizing a fine trace for an hourly optimizer). The factor must divide
+// evenly in the chosen direction.
+func Resample(s *Series, newSamplesPerHour int) (*Series, error) {
+	if newSamplesPerHour <= 0 {
+		return nil, fmt.Errorf("trace: invalid samples per hour %d", newSamplesPerHour)
+	}
+	oldPerHour := int(1/s.StepHrs + 0.5)
+	if oldPerHour <= 0 {
+		return nil, fmt.Errorf("trace: series step %v not resampleable", s.StepHrs)
+	}
+	if newSamplesPerHour == oldPerHour {
+		return s.Clone(), nil
+	}
+	out := &Series{
+		Name:     s.Name,
+		StepHrs:  1.0 / float64(newSamplesPerHour),
+		UnitName: s.UnitName,
+	}
+	if newSamplesPerHour > oldPerHour {
+		if newSamplesPerHour%oldPerHour != 0 {
+			return nil, fmt.Errorf("trace: upsample factor %d/%d not integral",
+				newSamplesPerHour, oldPerHour)
+		}
+		k := newSamplesPerHour / oldPerHour
+		n := s.Len()
+		out.Values = make([]float64, n*k)
+		for i := 0; i < n; i++ {
+			cur := s.Values[i]
+			next := cur
+			if i+1 < n {
+				next = s.Values[i+1]
+			}
+			for j := 0; j < k; j++ {
+				frac := float64(j) / float64(k)
+				out.Values[i*k+j] = cur*(1-frac) + next*frac
+			}
+		}
+		return out, nil
+	}
+	if oldPerHour%newSamplesPerHour != 0 {
+		return nil, fmt.Errorf("trace: downsample factor %d/%d not integral",
+			oldPerHour, newSamplesPerHour)
+	}
+	k := oldPerHour / newSamplesPerHour
+	n := s.Len() / k
+	out.Values = make([]float64, n)
+	for i := 0; i < n; i++ {
+		var sum float64
+		for j := 0; j < k; j++ {
+			sum += s.Values[i*k+j]
+		}
+		out.Values[i] = sum / float64(k)
+	}
+	return out, nil
+}

@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func TestResampleUpsample(t *testing.T) {
+	s := &Series{Name: "x", StepHrs: 1, Values: []float64{0, 4, 8}}
+	up, err := Resample(s, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.Len() != 12 || up.StepHrs != 0.25 {
+		t.Fatalf("shape = %d/%v", up.Len(), up.StepHrs)
+	}
+	want := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 8, 8, 8}
+	for i, w := range want {
+		if math.Abs(up.Values[i]-w) > 1e-12 {
+			t.Fatalf("values = %v, want %v", up.Values, want)
+		}
+	}
+}
+
+func TestResampleDownsample(t *testing.T) {
+	s := &Series{Name: "x", StepHrs: 0.25, Values: []float64{1, 2, 3, 4, 5, 6, 7, 8}}
+	down, err := Resample(s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if down.Len() != 2 || down.StepHrs != 1 {
+		t.Fatalf("shape = %d/%v", down.Len(), down.StepHrs)
+	}
+	if down.Values[0] != 2.5 || down.Values[1] != 6.5 {
+		t.Fatalf("values = %v", down.Values)
+	}
+}
+
+func TestResampleIdentityAndErrors(t *testing.T) {
+	s := &Series{Name: "x", StepHrs: 1, Values: []float64{1, 2}}
+	same, err := Resample(s, 1)
+	if err != nil || same.Values[1] != 2 {
+		t.Fatalf("identity resample broken: %v %v", same, err)
+	}
+	same.Values[0] = 9
+	if s.Values[0] == 9 {
+		t.Fatal("identity resample must copy")
+	}
+	if _, err := Resample(s, 0); err == nil {
+		t.Fatal("expected error for zero rate")
+	}
+	odd := &Series{StepHrs: 1.0 / 3.0, Values: []float64{1, 2, 3}}
+	if _, err := Resample(odd, 2); err == nil {
+		t.Fatal("expected non-integral factor error")
+	}
+}
+
+func TestResampleRoundTripPreservesMean(t *testing.T) {
+	cfg := WikipediaLike(9)
+	cfg.Days = 3
+	s := cfg.Generate()
+	up, err := Resample(s, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	down, err := Resample(up, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if down.Len() != s.Len() {
+		t.Fatalf("round trip length %d vs %d", down.Len(), s.Len())
+	}
+	var m1, m2 float64
+	for i := range s.Values {
+		m1 += s.Values[i]
+		m2 += down.Values[i]
+	}
+	if math.Abs(m1-m2) > 0.02*m1 {
+		t.Fatalf("round trip mean drifted: %v vs %v", m2/float64(s.Len()), m1/float64(s.Len()))
+	}
+}

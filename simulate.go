@@ -1,0 +1,99 @@
+package spotweb
+
+import (
+	"fmt"
+
+	"repro/internal/portfolio"
+	"repro/internal/predict"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// SimResult is the outcome of a Simulate run (re-exported from the internal
+// simulator).
+type SimResult = sim.Result
+
+// SimOptions configures Simulate. Catalog and Workload are required.
+type SimOptions struct {
+	// Catalog is the market universe.
+	Catalog *Catalog
+	// Workload is the request-rate series (req/s), one value per catalog
+	// interval.
+	Workload []float64
+	// Controller configures the SpotWeb policy under test; its Catalog
+	// field is ignored (the simulation catalog is used).
+	Controller ControllerOptions
+	// Seed drives revocation sampling.
+	Seed int64
+	// Vanilla disables the transiency-aware balancer (baseline behaviour).
+	Vanilla bool
+	// HourlyBilling charges whole started instance-hours (default true —
+	// pass PerSecondBilling to disable).
+	PerSecondBilling bool
+	// MaxLifetimeHrs enforces a provider lifetime cap (0 = none).
+	MaxLifetimeHrs float64
+	// QueueDeadlineSec lets admission control delay rather than drop
+	// overload (0 = pure drop).
+	QueueDeadlineSec float64
+}
+
+// Simulate runs the SpotWeb controller against a workload on the simulator
+// — the programmatic what-if evaluation a deployment would run before going
+// live: expected cost, drops, SLO violations, revocation counts.
+func Simulate(opt SimOptions) (*SimResult, error) {
+	if opt.Catalog == nil {
+		return nil, fmt.Errorf("spotweb: SimOptions.Catalog is required")
+	}
+	if len(opt.Workload) < 2 {
+		return nil, fmt.Errorf("spotweb: SimOptions.Workload needs at least 2 intervals")
+	}
+	cfg := opt.Controller.Optimizer.WithDefaults()
+	wl := opt.Controller.Workload
+	if wl == nil {
+		wl = predict.NewSplinePredictor(predict.SplineConfig{
+			StepHrs: opt.Catalog.StepHrs,
+			ARLag1:  true,
+			CIProb:  0.99,
+		}, cfg.Horizon)
+	}
+	src := opt.Controller.Source
+	if src == nil {
+		switch opt.Controller.Prices {
+		case PriceReactive:
+			src = portfolio.ReactiveSource{Cat: opt.Catalog}
+		default:
+			src = portfolio.MeanRevertSource{Cat: opt.Catalog}
+		}
+	}
+	planner := portfolio.NewPlanner(cfg, opt.Catalog, wl, src)
+	s := &sim.Simulator{
+		Cfg: sim.Config{
+			Seed:             opt.Seed,
+			TransiencyAware:  !opt.Vanilla,
+			PerSecondBilling: opt.PerSecondBilling,
+			MaxLifetimeHrs:   opt.MaxLifetimeHrs,
+			QueueDeadlineSec: opt.QueueDeadlineSec,
+		},
+		Cat: opt.Catalog,
+		Workload: &trace.Series{
+			Name: "workload", StepHrs: opt.Catalog.StepHrs, Values: opt.Workload,
+		},
+		Policy: plannerPolicy{planner: planner},
+	}
+	return s.Run()
+}
+
+// plannerPolicy adapts the planner to sim.Policy.
+type plannerPolicy struct{ planner *portfolio.Planner }
+
+// Name implements sim.Policy.
+func (plannerPolicy) Name() string { return "spotweb" }
+
+// Decide implements sim.Policy.
+func (p plannerPolicy) Decide(t int, observed float64) ([]int, error) {
+	dec, err := p.planner.Step(t, observed)
+	if err != nil {
+		return nil, err
+	}
+	return dec.Counts, nil
+}

@@ -1,0 +1,70 @@
+package spotweb_test
+
+import (
+	"math"
+	"testing"
+
+	spotweb "repro"
+)
+
+func TestSimulate(t *testing.T) {
+	cat := spotweb.SyntheticCatalog(spotweb.CatalogConfig{
+		Seed: 5, NumTypes: 6, Hours: 24 * 5,
+	})
+	wl := make([]float64, 24*5)
+	for i := range wl {
+		wl[i] = 600 + 250*math.Sin(float64(i)/24*2*math.Pi)
+	}
+	res, err := spotweb.Simulate(spotweb.SimOptions{
+		Catalog:  cat,
+		Workload: wl,
+		Seed:     5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalCost <= 0 {
+		t.Fatal("no cost accounted")
+	}
+	if res.DropFraction() > 0.05 {
+		t.Fatalf("drop fraction %v", res.DropFraction())
+	}
+	if len(res.Intervals) != len(wl)-1 {
+		t.Fatalf("intervals = %d", len(res.Intervals))
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	if _, err := spotweb.Simulate(spotweb.SimOptions{}); err == nil {
+		t.Fatal("expected catalog error")
+	}
+	cat := spotweb.SyntheticCatalog(spotweb.CatalogConfig{Seed: 1, NumTypes: 2, Hours: 24})
+	if _, err := spotweb.Simulate(spotweb.SimOptions{Catalog: cat, Workload: []float64{1}}); err == nil {
+		t.Fatal("expected workload error")
+	}
+}
+
+func TestSimulateVanillaDropsMore(t *testing.T) {
+	cat := spotweb.SyntheticCatalog(spotweb.CatalogConfig{
+		Seed: 7, NumTypes: 4, Hours: 24 * 7, BaseFailProb: 0.12,
+	})
+	wl := make([]float64, 24*7)
+	for i := range wl {
+		wl[i] = 500
+	}
+	run := func(vanilla bool) *spotweb.SimResult {
+		res, err := spotweb.Simulate(spotweb.SimOptions{
+			Catalog: cat, Workload: wl, Seed: 7, Vanilla: vanilla,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	aware := run(false)
+	vanilla := run(true)
+	if aware.DropFraction() > vanilla.DropFraction() {
+		t.Fatalf("aware %v should not drop more than vanilla %v",
+			aware.DropFraction(), vanilla.DropFraction())
+	}
+}

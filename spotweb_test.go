@@ -1,0 +1,94 @@
+package spotweb_test
+
+import (
+	"math"
+	"testing"
+
+	spotweb "repro"
+)
+
+func testCatalog() *spotweb.Catalog {
+	return spotweb.SyntheticCatalog(spotweb.CatalogConfig{
+		Seed: 7, NumTypes: 8, IncludeOnDemand: true, Hours: 24 * 7,
+	})
+}
+
+func TestNewControllerRequiresCatalog(t *testing.T) {
+	if _, err := spotweb.NewController(spotweb.ControllerOptions{}); err == nil {
+		t.Fatal("expected error without catalog")
+	}
+}
+
+func TestControllerStep(t *testing.T) {
+	ctrl, err := spotweb.NewController(spotweb.ControllerOptions{Catalog: testCatalog()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dec *spotweb.Decision
+	for k := 0; k < 30; k++ {
+		rate := 800 + 300*math.Sin(float64(k)/24*2*math.Pi)
+		dec, err = ctrl.Step(k, rate)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if dec.Capacity < dec.PredictedRate {
+		t.Fatalf("capacity %v below predicted rate %v", dec.Capacity, dec.PredictedRate)
+	}
+	if len(dec.Weights) == 0 {
+		t.Fatal("no balancer weights produced")
+	}
+	for i, w := range dec.Weights {
+		if w <= 0 || dec.Counts[i] == 0 {
+			t.Fatalf("weight %v for empty market %d", w, i)
+		}
+	}
+	if dec.Plan == nil || len(dec.Plan.Alloc) == 0 {
+		t.Fatal("plan missing")
+	}
+}
+
+func TestControllerPriceModes(t *testing.T) {
+	for _, mode := range []spotweb.PriceForecastMode{spotweb.PriceMeanRevert, spotweb.PriceReactive} {
+		ctrl, err := spotweb.NewController(spotweb.ControllerOptions{
+			Catalog: testCatalog(), Prices: mode,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ctrl.Step(0, 500); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestWeightsFeedBalancer(t *testing.T) {
+	ctrl, err := spotweb.NewController(spotweb.ControllerOptions{Catalog: testCatalog()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := ctrl.Step(0, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bal := spotweb.NewBalancer()
+	bal.UpdatePortfolio(dec.Weights)
+	seen := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		id, ok := bal.Route("")
+		if !ok {
+			t.Fatal("route failed")
+		}
+		seen[id] = true
+	}
+	if len(seen) != len(dec.Weights) && len(dec.Weights) > 1 {
+		t.Fatalf("routing did not cover the portfolio: %v vs %d weights", seen, len(dec.Weights))
+	}
+}
+
+func TestControllerRejectsInvalidCatalog(t *testing.T) {
+	bad := &spotweb.Catalog{}
+	if _, err := spotweb.NewController(spotweb.ControllerOptions{Catalog: bad}); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
