@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: build test race bench fmt vet fuzz-smoke ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+fuzz-smoke:
+	@for t in $$($(GO) test ./internal/solver -list '^Fuzz' | grep '^Fuzz'); do \
+		echo "==> $$t"; \
+		$(GO) test ./internal/solver -run='^$$' -fuzz="^$$t$$" -fuzztime=30s || exit 1; \
+	done
+
+# ci mirrors .github/workflows/ci.yml so failures reproduce locally.
+ci: build vet fmt test race fuzz-smoke

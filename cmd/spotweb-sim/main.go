@@ -14,6 +14,8 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/linalg"
+	"repro/internal/parallel"
 )
 
 func main() {
@@ -21,9 +23,13 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink durations for a fast run")
 	seed := flag.Int64("seed", 42, "random seed")
 	workload := flag.String("workload", "wiki", "workload for fig6b: wiki or vod")
+	parallelism := flag.Int("parallelism", 0, "optimizer worker bound: 0/1 serial, n>1 up to n workers, <0 all cores")
 	flag.Parse()
 
-	opt := experiments.Options{Quick: *quick, Seed: *seed}
+	// Route the dense linear algebra through the same pool as the solvers;
+	// results are bit-identical at any width.
+	linalg.SetPool(parallel.PoolFor(*parallelism))
+	opt := experiments.Options{Quick: *quick, Seed: *seed, Parallelism: *parallelism}
 	w := os.Stdout
 
 	run := func(id string) bool {

@@ -27,7 +27,9 @@ import (
 	"time"
 
 	spotweb "repro"
+	"repro/internal/linalg"
 	"repro/internal/monitor"
+	"repro/internal/parallel"
 	"repro/internal/testbed"
 )
 
@@ -39,14 +41,19 @@ func main() {
 	seed := flag.Int64("seed", 42, "random seed")
 	capScale := flag.Float64("cap-scale", 0.2, "scale factor for backend capacities (testbed-sized)")
 	warning := flag.Duration("warning", 5*time.Second, "revocation warning period")
+	parallelism := flag.Int("parallelism", 0, "optimizer worker bound: 0/1 serial, n>1 up to n workers, <0 all cores")
 	flag.Parse()
+
+	// Route the optimizer's dense linear algebra through the shared pool;
+	// plans are bit-identical at any width, only solve latency changes.
+	linalg.SetPool(parallel.PoolFor(*parallelism))
 
 	cat := spotweb.SyntheticCatalog(spotweb.CatalogConfig{
 		Seed: *seed, NumTypes: *markets, Hours: 24 * 30,
 	})
 	ctrl, err := spotweb.NewController(spotweb.ControllerOptions{
 		Catalog:   cat,
-		Optimizer: spotweb.OptimizerConfig{Horizon: 4, ChurnKappa: 1.0},
+		Optimizer: spotweb.OptimizerConfig{Horizon: 4, ChurnKappa: 1.0, Parallelism: *parallelism},
 	})
 	if err != nil {
 		log.Fatal(err)

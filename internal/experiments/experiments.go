@@ -19,6 +19,10 @@ type Options struct {
 	Quick bool
 	// Seed makes runs reproducible.
 	Seed int64
+	// Parallelism bounds the optimizer worker pool (portfolio.Config
+	// semantics: 0/1 serial, n > 1 bounded, negative all cores). Results are
+	// bit-identical at any setting; only the solve times change.
+	Parallelism int
 }
 
 func (o Options) seed() int64 {

@@ -38,14 +38,18 @@ func Cholesky(a *Matrix) (*CholeskyFactor, error) {
 		ljj := math.Sqrt(d)
 		l.Set(j, j, ljj)
 		inv := 1 / ljj
-		for i := j + 1; i < n; i++ {
-			s := a.At(i, j)
-			lrowi := l.Data[i*n : i*n+j]
-			for k, x := range lrowi {
-				s -= x * lrowj[k]
+		// Trailing rows of column j are mutually independent: each reads only
+		// its own prior row and the fixed pivot row, and writes l[i, j].
+		pfor(n-(j+1), j+1, func(lo, hi int) {
+			for i := j + 1 + lo; i < j+1+hi; i++ {
+				s := a.At(i, j)
+				lrowi := l.Data[i*n : i*n+j]
+				for k, x := range lrowi {
+					s -= x * lrowj[k]
+				}
+				l.Set(i, j, s*inv)
 			}
-			l.Set(i, j, s*inv)
-		}
+		})
 	}
 	return &CholeskyFactor{n: n, l: l}, nil
 }
@@ -78,6 +82,22 @@ func (c *CholeskyFactor) Solve(b, dst Vector) Vector {
 		dst[i] = s / l.Data[i*n+i]
 	}
 	return dst
+}
+
+// SolveBatch solves A·xᵢ = bᵢ for a batch of right-hand sides, writing each
+// solution into the corresponding dst vector (which may alias its b). Each
+// triangular substitution is inherently sequential, so batching across
+// right-hand sides is where the factor-backed solves parallelize: the solves
+// are independent and run concurrently on the registered pool.
+func (c *CholeskyFactor) SolveBatch(b, dst []Vector) {
+	if len(b) != len(dst) {
+		panic("linalg: Cholesky SolveBatch batch size mismatch")
+	}
+	pfor(len(b), c.n*c.n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			c.Solve(b[i], dst[i])
+		}
+	})
 }
 
 // LDLFactor holds the factorization A = L·D·Lᵀ of a symmetric (possibly
@@ -121,14 +141,17 @@ func LDL(a *Matrix, pivotTol float64) (*LDLFactor, error) {
 		}
 		d[j] = dj
 		inv := 1 / dj
-		for i := j + 1; i < n; i++ {
-			s := a.At(i, j)
-			lrowi := l.Data[i*n : i*n+j]
-			for k, x := range lrowi {
-				s -= x * v[k]
+		// Same independence structure as the Cholesky column update.
+		pfor(n-(j+1), j+1, func(lo, hi int) {
+			for i := j + 1 + lo; i < j+1+hi; i++ {
+				s := a.At(i, j)
+				lrowi := l.Data[i*n : i*n+j]
+				for k, x := range lrowi {
+					s -= x * v[k]
+				}
+				l.Set(i, j, s*inv)
 			}
-			l.Set(i, j, s*inv)
-		}
+		})
 	}
 	return &LDLFactor{n: n, l: l, d: d}, nil
 }
@@ -164,6 +187,19 @@ func (f *LDLFactor) Solve(b, dst Vector) Vector {
 		dst[i] = s
 	}
 	return dst
+}
+
+// SolveBatch solves A·xᵢ = bᵢ for a batch of right-hand sides concurrently;
+// see CholeskyFactor.SolveBatch.
+func (f *LDLFactor) SolveBatch(b, dst []Vector) {
+	if len(b) != len(dst) {
+		panic("linalg: LDL SolveBatch batch size mismatch")
+	}
+	pfor(len(b), f.n*f.n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			f.Solve(b[i], dst[i])
+		}
+	})
 }
 
 // SolveSPD is a convenience helper that factors a (symmetric positive

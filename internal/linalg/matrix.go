@@ -67,14 +67,16 @@ func (m *Matrix) MulVec(x, dst Vector) Vector {
 	if len(dst) != m.Rows {
 		panic(fmt.Sprintf("linalg: MulVec dst length %d != rows %d", len(dst), m.Rows))
 	}
-	for i := 0; i < m.Rows; i++ {
-		row := m.Data[i*m.Cols : (i+1)*m.Cols]
-		var s float64
-		for j, a := range row {
-			s += a * x[j]
+	pfor(m.Rows, m.Cols, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := m.Data[i*m.Cols : (i+1)*m.Cols]
+			var s float64
+			for j, a := range row {
+				s += a * x[j]
+			}
+			dst[i] = s
 		}
-		dst[i] = s
-	}
+	})
 	return dst
 }
 
@@ -86,19 +88,24 @@ func (m *Matrix) MulVecT(x, dst Vector) Vector {
 	if len(dst) != m.Cols {
 		panic(fmt.Sprintf("linalg: MulVecT dst length %d != cols %d", len(dst), m.Cols))
 	}
-	for j := range dst {
-		dst[j] = 0
-	}
-	for i := 0; i < m.Rows; i++ {
-		xi := x[i]
-		if xi == 0 {
-			continue
+	// Split over output columns so concurrent chunks write disjoint ranges;
+	// each dst[j] accumulates over rows in ascending order regardless of the
+	// split, keeping the result bit-identical to the serial path.
+	pfor(m.Cols, 2*m.Rows, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			dst[j] = 0
 		}
-		row := m.Data[i*m.Cols : (i+1)*m.Cols]
-		for j, a := range row {
-			dst[j] += a * xi
+		for i := 0; i < m.Rows; i++ {
+			xi := x[i]
+			if xi == 0 {
+				continue
+			}
+			row := m.Data[i*m.Cols : (i+1)*m.Cols]
+			for j := lo; j < hi; j++ {
+				dst[j] += row[j] * xi
+			}
 		}
-	}
+	})
 	return dst
 }
 
@@ -108,44 +115,52 @@ func (m *Matrix) Mul(b *Matrix) *Matrix {
 		panic(fmt.Sprintf("linalg: Mul shape mismatch (%dx%d)·(%dx%d)", m.Rows, m.Cols, b.Rows, b.Cols))
 	}
 	out := NewMatrix(m.Rows, b.Cols)
-	for i := 0; i < m.Rows; i++ {
-		arow := m.Data[i*m.Cols : (i+1)*m.Cols]
-		orow := out.Data[i*out.Cols : (i+1)*out.Cols]
-		for k, a := range arow {
-			if a == 0 {
-				continue
-			}
-			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
-			for j, bv := range brow {
-				orow[j] += a * bv
+	pfor(m.Rows, m.Cols*b.Cols, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := m.Data[i*m.Cols : (i+1)*m.Cols]
+			orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+			for k, a := range arow {
+				if a == 0 {
+					continue
+				}
+				brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+				for j, bv := range brow {
+					orow[j] += a * bv
+				}
 			}
 		}
-	}
+	})
 	return out
 }
 
 // AtA returns mᵀ·m (a Cols×Cols symmetric matrix).
 func (m *Matrix) AtA() *Matrix {
 	out := NewMatrix(m.Cols, m.Cols)
-	for i := 0; i < m.Rows; i++ {
-		row := m.Data[i*m.Cols : (i+1)*m.Cols]
-		for a := 0; a < m.Cols; a++ {
-			ra := row[a]
-			if ra == 0 {
-				continue
-			}
+	// Split over output rows; each element (a, b) still accumulates over the
+	// input rows in ascending order, as in the serial nesting.
+	pfor(m.Cols, m.Rows*m.Cols/2+1, func(lo, hi int) {
+		for a := lo; a < hi; a++ {
 			orow := out.Data[a*out.Cols : (a+1)*out.Cols]
-			for b := a; b < m.Cols; b++ {
-				orow[b] += ra * row[b]
+			for i := 0; i < m.Rows; i++ {
+				row := m.Data[i*m.Cols : (i+1)*m.Cols]
+				ra := row[a]
+				if ra == 0 {
+					continue
+				}
+				for b := a; b < m.Cols; b++ {
+					orow[b] += ra * row[b]
+				}
 			}
 		}
-	}
-	// Mirror the upper triangle.
-	for a := 0; a < m.Cols; a++ {
-		for b := a + 1; b < m.Cols; b++ {
-			out.Data[b*out.Cols+a] = out.Data[a*out.Cols+b]
+	})
+	// Mirror the upper triangle (chunks write disjoint column ranges).
+	pfor(m.Cols, m.Cols, func(lo, hi int) {
+		for a := lo; a < hi; a++ {
+			for b := a + 1; b < m.Cols; b++ {
+				out.Data[b*out.Cols+a] = out.Data[a*out.Cols+b]
+			}
 		}
-	}
+	})
 	return out
 }
 

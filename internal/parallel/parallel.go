@@ -1,0 +1,240 @@
+// Package parallel provides the shared worker pool behind the MPO hot path:
+// block-parallel dense linear algebra (internal/linalg), concurrent per-period
+// projections and per-block updates in the QP solvers (internal/solver), and
+// concurrent candidate-plan solves in the planner (internal/portfolio).
+//
+// Design constraints, in order of importance:
+//
+//  1. Determinism. Results must be bit-identical to the serial path no matter
+//     how many workers run. For guarantees this by splitting an index range
+//     into fixed-size chunks whose boundaries depend only on (n, grain) —
+//     never on the worker count — so a reduction implemented as fixed-order
+//     per-chunk partials is reproducible, and a body with disjoint writes is
+//     trivially so.
+//  2. Deadlock freedom under nesting. A task that cannot be handed to a
+//     worker (all busy, e.g. a parallel solve inside a parallel sweep) runs
+//     inline on the submitting goroutine instead of queueing.
+//  3. Serial fallback. Small ranges run inline with zero goroutine traffic,
+//     so callers can unconditionally route work through a Pool.
+//
+// The pool is bounded by GOMAXPROCS: asking for more workers than cores buys
+// nothing on a CPU-bound numeric path and only adds scheduler pressure.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool executes chunked loop bodies on a fixed set of worker goroutines.
+// The zero value is not usable; use New, Default or Serial.
+//
+// A Pool is safe for concurrent use: any number of goroutines may issue
+// For/Do calls against the same pool simultaneously (they share the workers).
+type Pool struct {
+	width int
+	tasks chan func() // nil ⇒ serial pool: everything runs inline
+	owner bool        // true when this Pool spawned the workers (Close allowed)
+}
+
+// Serial is the degenerate pool: every For/Do call runs inline on the caller.
+// It is the correct default wherever parallelism is opt-in.
+var Serial = &Pool{width: 1}
+
+// New returns a pool with the given number of workers, clamped to
+// [1, GOMAXPROCS]. workers <= 0 selects GOMAXPROCS. A one-worker pool is
+// Serial (no goroutines are spawned).
+//
+// Pools returned by New own their workers; call Close when done with a
+// short-lived pool. Long-lived pools (one per process) never need closing.
+func New(workers int) *Pool {
+	max := runtime.GOMAXPROCS(0)
+	if workers <= 0 || workers > max {
+		workers = max
+	}
+	if workers == 1 {
+		return Serial
+	}
+	p := &Pool{width: workers, tasks: make(chan func()), owner: true}
+	for i := 0; i < workers; i++ {
+		go p.work()
+	}
+	return p
+}
+
+var (
+	defaultOnce sync.Once
+	defaultPool *Pool
+)
+
+// Default returns the process-wide shared pool, created on first use with
+// GOMAXPROCS workers. It must not be closed.
+func Default() *Pool {
+	defaultOnce.Do(func() { defaultPool = New(0) })
+	return defaultPool
+}
+
+// PoolFor maps a user-facing parallelism knob to a pool: 0 and 1 select
+// Serial (the opt-in default), negative values select the shared full-width
+// pool, and n > 1 selects a width-n view of the shared pool. This is the
+// single translation point for the Parallelism options on portfolio.Config,
+// spotwebd and spotweb-sim.
+func PoolFor(n int) *Pool {
+	switch {
+	case n == 0 || n == 1:
+		return Serial
+	case n < 0:
+		return Default()
+	default:
+		return Default().Limit(n)
+	}
+}
+
+// Workers returns the pool's parallel width.
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.width
+}
+
+// Limit returns a view of p whose parallel width is at most width. The view
+// shares p's workers; it only bounds how many chunks a single For/Do call
+// keeps in flight. width <= 0 or width >= p.Workers() returns p itself; a
+// width of 1 returns Serial.
+func (p *Pool) Limit(width int) *Pool {
+	if p == nil || p.tasks == nil || width >= p.width || width <= 0 {
+		return p
+	}
+	if width == 1 {
+		return Serial
+	}
+	return &Pool{width: width, tasks: p.tasks}
+}
+
+// Close shuts down the workers of a pool created by New. It is a no-op on
+// Serial and on Limit views. Close must not be called concurrently with
+// For/Do, and must not be called on Default's pool.
+func (p *Pool) Close() {
+	if p.owner && p.tasks != nil {
+		close(p.tasks)
+	}
+}
+
+func (p *Pool) work() {
+	for fn := range p.tasks {
+		fn()
+	}
+}
+
+// firstPanic records the first panic raised by any chunk so the caller can
+// re-raise it after every chunk has finished.
+type firstPanic struct {
+	mu  sync.Mutex
+	val any
+	set bool
+}
+
+func (f *firstPanic) capture() {
+	if r := recover(); r != nil {
+		f.mu.Lock()
+		if !f.set {
+			f.val, f.set = r, true
+		}
+		f.mu.Unlock()
+	}
+}
+
+func (f *firstPanic) repanic() {
+	if f.set {
+		panic(f.val)
+	}
+}
+
+// For runs body over the half-open chunks of [0, n): body(lo, hi) with
+// hi-lo <= grain. Chunk boundaries depend only on n and grain — not on the
+// worker count — so a caller accumulating fixed-order per-chunk partials gets
+// bit-identical results at any parallelism, and a body writing only its own
+// [lo, hi) slice is deterministic outright. Bodies must not write shared
+// state outside their range.
+//
+// For blocks until every chunk has finished. If any chunk panics, For panics
+// with the first recovered value after all chunks complete. Ranges of at
+// most one grain (and all calls on a serial pool) run inline on the caller.
+func (p *Pool) For(n, grain int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain <= 0 {
+		grain = 1
+	}
+	if p == nil || p.tasks == nil || p.width <= 1 || n <= grain {
+		body(0, n)
+		return
+	}
+	var (
+		wg  sync.WaitGroup
+		pan firstPanic
+	)
+	// Keep roughly `width` chunks in flight: the submit loop itself executes
+	// any chunk a worker cannot take, so at saturation the caller becomes the
+	// (width+1)-th lane rather than blocking.
+	for lo := 0; lo < n; lo += grain {
+		hi := lo + grain
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		fn := func() {
+			defer wg.Done()
+			defer pan.capture()
+			body(lo, hi)
+		}
+		select {
+		case p.tasks <- fn:
+		default:
+			fn()
+		}
+	}
+	wg.Wait()
+	pan.repanic()
+}
+
+// Do runs the given functions concurrently on the pool and waits for all of
+// them, re-raising the first panic. It is the fan-out primitive for
+// heterogeneous tasks such as independent candidate-plan solves.
+func (p *Pool) Do(fns ...func()) {
+	if len(fns) == 0 {
+		return
+	}
+	if p == nil || p.tasks == nil || p.width <= 1 || len(fns) == 1 {
+		var pan firstPanic
+		for _, fn := range fns {
+			func() {
+				defer pan.capture()
+				fn()
+			}()
+		}
+		pan.repanic()
+		return
+	}
+	var (
+		wg  sync.WaitGroup
+		pan firstPanic
+	)
+	for _, fn := range fns {
+		wg.Add(1)
+		task := func() {
+			defer wg.Done()
+			defer pan.capture()
+			fn()
+		}
+		select {
+		case p.tasks <- task:
+		default:
+			task()
+		}
+	}
+	wg.Wait()
+	pan.repanic()
+}

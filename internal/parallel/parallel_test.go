@@ -1,0 +1,240 @@
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// withProcs raises GOMAXPROCS so pools wider than the host's core count can
+// be exercised (CI containers may expose a single CPU).
+func withProcs(t *testing.T, n int) {
+	t.Helper()
+	old := runtime.GOMAXPROCS(0)
+	if old < n {
+		runtime.GOMAXPROCS(n)
+		t.Cleanup(func() { runtime.GOMAXPROCS(old) })
+	}
+}
+
+func TestNewClampsToGOMAXPROCS(t *testing.T) {
+	withProcs(t, 4)
+	max := runtime.GOMAXPROCS(0)
+	for _, tc := range []struct{ ask, want int }{
+		{0, max}, {-3, max}, {1, 1}, {2, 2}, {max, max}, {max + 100, max},
+	} {
+		p := New(tc.ask)
+		if got := p.Workers(); got != tc.want {
+			t.Errorf("New(%d).Workers() = %d, want %d", tc.ask, got, tc.want)
+		}
+		p.Close()
+	}
+	if New(1) != Serial {
+		t.Error("New(1) should return the Serial pool")
+	}
+}
+
+func TestLimit(t *testing.T) {
+	withProcs(t, 4)
+	p := New(4)
+	defer p.Close()
+	if v := p.Limit(2); v.Workers() != 2 {
+		t.Errorf("Limit(2).Workers() = %d, want 2", v.Workers())
+	}
+	if v := p.Limit(100); v != p {
+		t.Error("Limit above width should return the pool itself")
+	}
+	if v := p.Limit(0); v != p {
+		t.Error("Limit(0) should return the pool itself")
+	}
+	if v := p.Limit(1); v != Serial {
+		t.Error("Limit(1) should return Serial")
+	}
+	if v := Serial.Limit(7); v != Serial {
+		t.Error("Serial.Limit should return Serial")
+	}
+	// Closing a view must not tear down the parent's workers.
+	v := p.Limit(2)
+	v.Close()
+	var ran atomic.Int32
+	p.For(8, 1, func(lo, hi int) { ran.Add(int32(hi - lo)) })
+	if ran.Load() != 8 {
+		t.Errorf("pool broken after closing a view: ran %d of 8", ran.Load())
+	}
+}
+
+func TestPoolForMatchesSerial(t *testing.T) {
+	withProcs(t, 4)
+	p := New(4)
+	defer p.Close()
+	const n = 10_000
+	in := make([]float64, n)
+	for i := range in {
+		in[i] = float64(i%97) * 1.25e-3
+	}
+	want := make([]float64, n)
+	Serial.For(n, 64, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			want[i] = in[i]*in[i] + 1
+		}
+	})
+	got := make([]float64, n)
+	p.For(n, 64, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			got[i] = in[i]*in[i] + 1
+		}
+	})
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("parallel For diverged from serial at %d: %v != %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestForCoversRangeExactlyOnce(t *testing.T) {
+	withProcs(t, 4)
+	p := New(4)
+	defer p.Close()
+	for _, n := range []int{0, 1, 5, 64, 65, 1000} {
+		for _, grain := range []int{1, 7, 64, 2000} {
+			seen := make([]int32, n)
+			p.For(n, grain, func(lo, hi int) {
+				if lo < 0 || hi > n || lo >= hi {
+					t.Errorf("bad chunk [%d,%d) for n=%d", lo, hi, n)
+				}
+				if hi-lo > grain {
+					t.Errorf("chunk [%d,%d) exceeds grain %d", lo, hi, grain)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&seen[i], 1)
+				}
+			})
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("n=%d grain=%d: index %d visited %d times", n, grain, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestForPanicPropagation(t *testing.T) {
+	withProcs(t, 4)
+	p := New(4)
+	defer p.Close()
+	defer func() {
+		r := recover()
+		if r != "boom-42" {
+			t.Errorf("recovered %v, want boom-42", r)
+		}
+	}()
+	p.For(1000, 10, func(lo, hi int) {
+		if lo <= 420 && 420 < hi {
+			panic("boom-42")
+		}
+	})
+	t.Error("For should have panicked")
+}
+
+func TestDoPanicPropagation(t *testing.T) {
+	withProcs(t, 4)
+	p := New(4)
+	defer p.Close()
+	var others atomic.Int32
+	defer func() {
+		if r := recover(); r != "do-panic" {
+			t.Errorf("recovered %v, want do-panic", r)
+		}
+		// Every non-panicking sibling still ran to completion.
+		if others.Load() != 3 {
+			t.Errorf("siblings ran %d times, want 3", others.Load())
+		}
+	}()
+	inc := func() { others.Add(1) }
+	p.Do(inc, func() { panic("do-panic") }, inc, inc)
+	t.Error("Do should have panicked")
+}
+
+func TestSerialPanicPropagation(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "serial-boom" {
+			t.Errorf("recovered %v, want serial-boom", r)
+		}
+	}()
+	Serial.For(10, 2, func(lo, hi int) {
+		if lo == 0 {
+			panic("serial-boom")
+		}
+	})
+}
+
+func TestDo(t *testing.T) {
+	withProcs(t, 4)
+	p := New(4)
+	defer p.Close()
+	out := make([]int, 5)
+	var fns []func()
+	for i := range out {
+		fns = append(fns, func() { out[i] = i * i })
+	}
+	p.Do(fns...)
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("Do slot %d = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+// TestNestedFor exercises For issued from inside worker-executed chunks: the
+// inline-fallback submit must keep nesting deadlock-free.
+func TestNestedFor(t *testing.T) {
+	withProcs(t, 4)
+	p := New(4)
+	defer p.Close()
+	var total atomic.Int64
+	p.For(64, 1, func(lo, hi int) {
+		p.For(64, 8, func(l2, h2 int) {
+			total.Add(int64(h2 - l2))
+		})
+	})
+	if total.Load() != 64*64 {
+		t.Fatalf("nested For ran %d units, want %d", total.Load(), 64*64)
+	}
+}
+
+// TestSharedPoolStress drives many concurrent For/Do callers through one
+// pool. Run under -race this is the pool's data-race gate.
+func TestSharedPoolStress(t *testing.T) {
+	withProcs(t, 4)
+	p := New(4)
+	defer p.Close()
+	const callers = 8
+	const rounds = 50
+	var wg sync.WaitGroup
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]float64, 512)
+			for r := 0; r < rounds; r++ {
+				p.For(len(buf), 32, func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						buf[i] += float64(r + i)
+					}
+				})
+			}
+			var want, got float64
+			for i := range buf {
+				got += buf[i]
+				for r := 0; r < rounds; r++ {
+					want += float64(r + i)
+				}
+			}
+			if got != want {
+				t.Errorf("stress caller %d: sum %v, want %v", c, got, want)
+			}
+		}()
+	}
+	wg.Wait()
+}

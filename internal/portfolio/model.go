@@ -64,6 +64,11 @@ type Config struct {
 	ChurnKappa float64
 	// Solver selects the backend.
 	Solver SolverKind
+	// Parallelism bounds the worker pool used for the solve: 0 or 1 runs
+	// serial, n > 1 uses up to n workers, negative uses all available cores.
+	// Any setting returns bit-identical plans — parallel kernels preserve the
+	// serial accumulation order — so this is purely a latency knob.
+	Parallelism int
 }
 
 // WithDefaults fills unset fields with the paper's defaults.

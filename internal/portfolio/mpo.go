@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/linalg"
+	"repro/internal/parallel"
 	"repro/internal/solver"
 )
 
@@ -35,46 +36,58 @@ type horizonOperator struct {
 	alpha float64
 	kappa float64
 	n, h  int
+	pool  *parallel.Pool // per-period blocks run concurrently; nil = serial
 }
 
-// Apply implements solver.QuadOperator.
+// Apply implements solver.QuadOperator. Each period writes only its own
+// dst block (the churn coupling reads neighbouring x blocks but never
+// neighbouring dst), so periods parallelize without changing any element's
+// accumulation order.
 func (o *horizonOperator) Apply(x, dst linalg.Vector) {
 	n, h := o.n, o.h
-	for τ := 0; τ < h; τ++ {
-		xb := x[τ*n : (τ+1)*n]
-		db := dst[τ*n : (τ+1)*n]
-		o.m.MulVec(xb, db)
-		linalg.Vector(db).Scale(2 * o.alpha)
+	ws := o.pool
+	if ws == nil {
+		ws = parallel.Serial
 	}
+	ws.For(h, 1, func(plo, phi int) {
+		for τ := plo; τ < phi; τ++ {
+			xb := x[τ*n : (τ+1)*n]
+			db := dst[τ*n : (τ+1)*n]
+			o.m.MulVec(xb, db)
+			linalg.Vector(db).Scale(2 * o.alpha)
+		}
+	})
 	if o.kappa == 0 {
 		return
 	}
 	k2 := 2 * o.kappa
-	for τ := 0; τ < h; τ++ {
-		xb := x[τ*n : (τ+1)*n]
-		db := dst[τ*n : (τ+1)*n]
-		// Each A_τ appears in the (τ) difference and, if τ+1 < h, in the
-		// (τ+1) difference.
-		diagCount := 1.0
-		if τ+1 < h {
-			diagCount = 2.0
-		}
-		for i := 0; i < n; i++ {
-			db[i] += k2 * diagCount * xb[i]
-		}
-		if τ > 0 {
-			prev := x[(τ-1)*n : τ*n]
+	ws.For(h, 1, func(plo, phi int) {
+		for τ := plo; τ < phi; τ++ {
+			xb := x[τ*n : (τ+1)*n]
+			db := dst[τ*n : (τ+1)*n]
+			// Each A_τ appears in the (τ) difference and, if τ+1 < h, in the
+			// (τ+1) difference.
+			diagCount := 1.0
+			if τ+1 < h {
+				diagCount = 2.0
+			}
 			for i := 0; i < n; i++ {
-				db[i] -= k2 * prev[i]
+				db[i] += k2 * diagCount * xb[i]
+			}
+			if τ > 0 {
+				prev := x[(τ-1)*n : τ*n]
+				for i := 0; i < n; i++ {
+					db[i] -= k2 * prev[i]
+				}
+			}
+			if τ+1 < h {
+				next := x[(τ+1)*n : (τ+2)*n]
+				for i := 0; i < n; i++ {
+					db[i] -= k2 * next[i]
+				}
 			}
 		}
-		if τ+1 < h {
-			next := x[(τ+1)*n : (τ+2)*n]
-			for i := 0; i < n; i++ {
-				db[i] -= k2 * next[i]
-			}
-		}
-	}
+	})
 }
 
 // Dim implements solver.QuadOperator.
@@ -184,12 +197,13 @@ func (c Config) solveFISTA(in *Inputs, n int) solver.Result {
 	if in.RiskOp != nil {
 		risk = in.RiskOp
 	}
+	ws := parallel.PoolFor(c.Parallelism)
 	pp := &solver.ProjectedProblem{
-		P: &horizonOperator{m: risk, alpha: c.Alpha, kappa: kappa, n: n, h: c.Horizon},
+		P: &horizonOperator{m: risk, alpha: c.Alpha, kappa: kappa, n: n, h: c.Horizon, pool: ws},
 		Q: c.buildLinear(in, n, kappa),
 		C: c.feasibleSet(n),
 	}
-	return solver.SolveFISTA(pp, solver.FISTASettings{MaxIter: 4000, Tol: 1e-7})
+	return solver.SolveFISTA(pp, solver.FISTASettings{MaxIter: 4000, Tol: 1e-7, Workers: ws})
 }
 
 func (c Config) solveADMM(in *Inputs, n int) solver.Result {
@@ -199,15 +213,19 @@ func (c Config) solveADMM(in *Inputs, n int) solver.Result {
 	h := c.Horizon
 	dim := n * h
 	kappa := c.churnWeight(in, n)
+	ws := parallel.PoolFor(c.Parallelism)
 	// Dense Hessian: block-diagonal 2αM plus churn tridiagonal coupling.
+	// Periods write disjoint row blocks, so assembly splits across the pool.
 	p := linalg.NewMatrix(dim, dim)
-	for τ := 0; τ < h; τ++ {
-		for i := 0; i < n; i++ {
-			for j := 0; j < n; j++ {
-				p.Set(τ*n+i, τ*n+j, 2*c.Alpha*in.Risk.At(i, j))
+	ws.For(h, 1, func(plo, phi int) {
+		for τ := plo; τ < phi; τ++ {
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					p.Set(τ*n+i, τ*n+j, 2*c.Alpha*in.Risk.At(i, j))
+				}
 			}
 		}
-	}
+	})
 	if kappa > 0 {
 		k2 := 2 * kappa
 		for τ := 0; τ < h; τ++ {
@@ -249,7 +267,7 @@ func (c Config) solveADMM(in *Inputs, n int) solver.Result {
 		u[row] = c.AMax
 	}
 	prob := &solver.Problem{P: p, Q: c.buildLinear(in, n, kappa), A: a, L: l, U: u}
-	return solver.SolveADMM(prob, solver.ADMMSettings{MaxIter: 8000, EpsAbs: 1e-6, EpsRel: 1e-6})
+	return solver.SolveADMM(prob, solver.ADMMSettings{MaxIter: 8000, EpsAbs: 1e-6, EpsRel: 1e-6, Workers: ws})
 }
 
 // ServerCounts converts a fractional allocation into integer server counts

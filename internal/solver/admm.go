@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"repro/internal/linalg"
+	"repro/internal/parallel"
 )
 
 // ADMMSettings tunes the OSQP-style solver. Zero values select defaults.
@@ -14,7 +15,14 @@ type ADMMSettings struct {
 	MaxIter int     // iteration budget (default 4000)
 	EpsAbs  float64 // absolute tolerance (default 1e-6)
 	EpsRel  float64 // relative tolerance (default 1e-6)
+	// Workers, when non-nil, runs the KKT assembly and the per-block x/z/y
+	// updates concurrently; results are bit-identical to the serial path.
+	// The KKT factorization itself parallelizes through linalg.SetPool.
+	Workers *parallel.Pool
 }
+
+// admmGrain is the chunk size for the element-wise update kernels.
+const admmGrain = 2048
 
 func (s ADMMSettings) withDefaults() ADMMSettings {
 	if s.Rho <= 0 {
@@ -54,24 +62,34 @@ func SolveADMM(p *Problem, settings ADMMSettings) Result {
 		return Result{Status: StatusError}
 	}
 	s := settings.withDefaults()
+	ws := s.Workers
+	if ws == nil {
+		ws = parallel.Serial
+	}
 	n, m := p.N(), p.M()
 
-	// Assemble and factor the KKT matrix.
+	// Assemble and factor the KKT matrix. Each chunk fills its own rows of
+	// the upper-left block and its own (row, mirrored-column) pairs of the
+	// constraint blocks, so writes never overlap.
 	kkt := linalg.NewMatrix(n+m, n+m)
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			kkt.Set(i, j, p.P.At(i, j))
+	ws.For(n, admmGrain/8+1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := 0; j < n; j++ {
+				kkt.Set(i, j, p.P.At(i, j))
+			}
+			kkt.Add(i, i, s.Sigma)
 		}
-		kkt.Add(i, i, s.Sigma)
-	}
-	for i := 0; i < m; i++ {
-		for j := 0; j < n; j++ {
-			aij := p.A.At(i, j)
-			kkt.Set(n+i, j, aij)
-			kkt.Set(j, n+i, aij)
+	})
+	ws.For(m, admmGrain/8+1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := 0; j < n; j++ {
+				aij := p.A.At(i, j)
+				kkt.Set(n+i, j, aij)
+				kkt.Set(j, n+i, aij)
+			}
+			kkt.Set(n+i, n+i, -1/s.Rho)
 		}
-		kkt.Set(n+i, n+i, -1/s.Rho)
-	}
+	})
 	fact, err := linalg.LDL(kkt, 0)
 	if err != nil {
 		return Result{Status: StatusError}
@@ -89,13 +107,19 @@ func SolveADMM(p *Problem, settings ADMMSettings) Result {
 
 	res := Result{Status: StatusMaxIterations}
 	for iter := 1; iter <= s.MaxIter; iter++ {
-		// x̃, ν solve.
-		for i := 0; i < n; i++ {
-			rhs[i] = s.Sigma*x[i] - p.Q[i]
-		}
-		for i := 0; i < m; i++ {
-			rhs[n+i] = z[i] - y[i]/s.Rho
-		}
+		// x̃, ν solve. The right-hand-side build and the relaxation/projection
+		// updates below are element-wise over disjoint chunks, so the pooled
+		// path reproduces the serial iterates bit-for-bit.
+		ws.For(n, admmGrain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				rhs[i] = s.Sigma*x[i] - p.Q[i]
+			}
+		})
+		ws.For(m, admmGrain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				rhs[n+i] = z[i] - y[i]/s.Rho
+			}
+		})
 		fact.Solve(rhs, sol)
 		xTilde := sol[:n]
 		nu := sol[n:]
@@ -103,23 +127,29 @@ func SolveADMM(p *Problem, settings ADMMSettings) Result {
 		// z̃ = z + (ν − y)/ρ
 		// x ← αx̃ + (1−α)x ; zRelax = αz̃ + (1−α)z
 		copy(zPrev, z)
-		for i := 0; i < n; i++ {
-			x[i] = s.Alpha*xTilde[i] + (1-s.Alpha)*x[i]
-		}
-		for i := 0; i < m; i++ {
-			zTilde := z[i] + (nu[i]-y[i])/s.Rho
-			zRelax := s.Alpha*zTilde + (1-s.Alpha)*z[i]
-			// z-update: project zRelax + y/ρ onto [l, u].
-			v := zRelax + y[i]/s.Rho
-			if v < p.L[i] {
-				v = p.L[i]
-			} else if v > p.U[i] {
-				v = p.U[i]
+		ws.For(n, admmGrain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				x[i] = s.Alpha*xTilde[i] + (1-s.Alpha)*x[i]
 			}
-			z[i] = v
-			// y-update.
-			y[i] += s.Rho * (zRelax - z[i])
-		}
+		})
+		// Per-block z/y update: each index projects its own constraint row,
+		// so the m rows split cleanly across the pool.
+		ws.For(m, admmGrain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				zTilde := z[i] + (nu[i]-y[i])/s.Rho
+				zRelax := s.Alpha*zTilde + (1-s.Alpha)*z[i]
+				// z-update: project zRelax + y/ρ onto [l, u].
+				v := zRelax + y[i]/s.Rho
+				if v < p.L[i] {
+					v = p.L[i]
+				} else if v > p.U[i] {
+					v = p.U[i]
+				}
+				z[i] = v
+				// y-update.
+				y[i] += s.Rho * (zRelax - z[i])
+			}
+		})
 
 		// Check residuals every few iterations to amortize the matvecs.
 		if iter%10 != 0 && iter != s.MaxIter {

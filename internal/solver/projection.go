@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"repro/internal/linalg"
+	"repro/internal/parallel"
 )
 
 // ProjectBox projects x onto the box [lo, hi] element-wise, in place.
@@ -127,15 +128,17 @@ func (b *BoxBand) Project(y linalg.Vector) {
 type ProductSet struct {
 	Blocks []*BoxBand
 	dims   []int
+	offs   []int // offs[k] is the start of block k; offs[len(Blocks)] == total
 	total  int
 }
 
 // NewProductSet builds a product of blocks laid out consecutively.
 func NewProductSet(blocks []*BoxBand) *ProductSet {
-	p := &ProductSet{Blocks: blocks}
-	for _, b := range blocks {
+	p := &ProductSet{Blocks: blocks, offs: make([]int, len(blocks)+1)}
+	for k, b := range blocks {
 		p.dims = append(p.dims, len(b.Lo))
 		p.total += len(b.Lo)
+		p.offs[k+1] = p.total
 	}
 	return p
 }
@@ -155,12 +158,20 @@ func (p *ProductSet) Feasible() bool {
 
 // Project projects x block-by-block in place.
 func (p *ProductSet) Project(x linalg.Vector) {
+	p.ProjectWith(parallel.Serial, x)
+}
+
+// ProjectWith projects x in place, running the per-period block projections
+// concurrently on the given pool. Blocks touch disjoint slices of x and each
+// block's bisection is deterministic, so the result is identical to the
+// serial Project for any pool width.
+func (p *ProductSet) ProjectWith(pool *parallel.Pool, x linalg.Vector) {
 	if len(x) != p.total {
 		panic("solver: ProductSet Project dimension mismatch")
 	}
-	off := 0
-	for k, b := range p.Blocks {
-		b.Project(x[off : off+p.dims[k]])
-		off += p.dims[k]
-	}
+	pool.For(len(p.Blocks), 1, func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			p.Blocks[k].Project(x[p.offs[k]:p.offs[k+1]])
+		}
+	})
 }
