@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench fmt vet fuzz-smoke ci
+.PHONY: build test race bench fmt vet fuzz-smoke smoke ci
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,11 @@ fmt:
 vet:
 	$(GO) vet ./...
 
+# smoke boots spotwebd for ~15s, drives traffic through the LB, asserts the
+# /metrics and /events endpoints, and checks clean SIGTERM shutdown.
+smoke:
+	sh scripts/smoke.sh
+
 fuzz-smoke:
 	@for t in $$($(GO) test ./internal/solver -list '^Fuzz' | grep '^Fuzz'); do \
 		echo "==> $$t"; \
@@ -28,4 +33,4 @@ fuzz-smoke:
 	done
 
 # ci mirrors .github/workflows/ci.yml so failures reproduce locally.
-ci: build vet fmt test race fuzz-smoke
+ci: build vet fmt test race fuzz-smoke smoke

@@ -14,6 +14,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/linalg"
 	"repro/internal/market"
+	"repro/internal/metrics"
 	"repro/internal/parallel"
 	"repro/internal/portfolio"
 	"repro/internal/predict"
@@ -227,6 +228,54 @@ func itoa(n int) string {
 		n /= 10
 	}
 	return string(buf[i:])
+}
+
+// BenchmarkMetricsObserve measures the observability hot paths the request
+// loop pays per served request: counter increment (serial and contended),
+// histogram observation, SLO-tracker observation — and the disabled path,
+// where a nil registry hands out nil handles whose methods must cost one
+// branch (the overhead contract in DESIGN.md).
+func BenchmarkMetricsObserve(b *testing.B) {
+	b.Run("counter-inc", func(b *testing.B) {
+		c := metrics.NewRegistry().Counter("bench_total", "")
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+	})
+	b.Run("counter-inc-parallel", func(b *testing.B) {
+		c := metrics.NewRegistry().Counter("bench_total", "")
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				c.Inc()
+			}
+		})
+	})
+	b.Run("histogram-observe", func(b *testing.B) {
+		h := metrics.NewRegistry().Histogram("bench_seconds", "")
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.Observe(0.0042)
+		}
+	})
+	b.Run("slo-observe", func(b *testing.B) {
+		s := metrics.NewSLOTracker(0, 0, 0)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s.Observe(4200 * 1000) // 4.2ms in ns (time.Duration)
+		}
+	})
+	b.Run("disabled", func(b *testing.B) {
+		var reg *metrics.Registry // nil registry: the "metrics off" mode
+		c := reg.Counter("bench_total", "")
+		h := reg.Histogram("bench_seconds", "")
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+			h.Observe(0.0042)
+		}
+	})
 }
 
 // BenchmarkSplinePredictorStep measures one Observe+Predict cycle of the

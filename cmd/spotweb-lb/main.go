@@ -5,34 +5,47 @@
 //
 // Usage:
 //
-//	spotweb-lb -listen :8080 -backends 25,25,50,50,40,40 \
+//	spotweb-lb -listen :8080 -metrics :8081 -backends 25,25,50,50,40,40 \
 //	           -revoke-after 30s -revoke 2,3 -warning 10s
 //
-// Then drive it with any HTTP load tool:
+// Then drive it with any HTTP load tool and watch the instrumentation:
 //
 //	curl -H 'X-Session: alice' http://localhost:8080/
+//	curl http://localhost:8081/metrics     # Prometheus exposition
+//	curl http://localhost:8081/events      # revocation event journal
+//
+// SIGINT/SIGTERM drains the servers and backends gracefully and flushes a
+// final metrics + events snapshot to stderr.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
+	"repro/internal/metrics"
+	"repro/internal/monitor"
 	"repro/internal/testbed"
 )
 
 func main() {
 	listen := flag.String("listen", ":8080", "address for the load balancer")
+	metricsAddr := flag.String("metrics", ":8081", "address for /metrics, /events, /stats and pprof (empty = disabled)")
 	backendsFlag := flag.String("backends", "25,25,50,50,40,40", "comma-separated backend capacities (req/s)")
 	service := flag.Duration("service", 4*time.Millisecond, "base service time per request")
 	startDelay := flag.Duration("start-delay", 5*time.Second, "simulated VM boot time")
 	warmup := flag.Duration("warmup", 5*time.Second, "cache warm-up window")
 	warning := flag.Duration("warning", 10*time.Second, "revocation warning period")
+	slo := flag.Duration("slo", 500*time.Millisecond, "latency SLO threshold for the attainment tracker")
 	vanilla := flag.Bool("vanilla", false, "disable transiency awareness (baseline)")
 	revokeAfter := flag.Duration("revoke-after", 0, "inject a revocation after this delay (0 = never)")
 	revoke := flag.String("revoke", "", "comma-separated backend ids to revoke")
@@ -43,6 +56,16 @@ func main() {
 	if err != nil {
 		log.Fatalf("bad -backends: %v", err)
 	}
+
+	var reg *metrics.Registry
+	var journal *metrics.Journal
+	collector := monitor.NewCollector(time.Minute)
+	if *metricsAddr != "" {
+		reg = metrics.NewRegistry()
+		journal = metrics.NewJournal(0)
+		reg.SetJournal(journal)
+	}
+
 	cl := testbed.NewCluster(testbed.ClusterConfig{
 		Backend: testbed.BackendConfig{
 			BaseServiceTime: *service,
@@ -52,8 +75,13 @@ func main() {
 		},
 		Warning: *warning,
 		Vanilla: *vanilla,
+		OnRequest: func(lat time.Duration, dropped bool) {
+			collector.Record(lat, dropped)
+		},
+		Metrics:   reg,
+		Journal:   journal,
+		SLOTarget: *slo,
 	})
-	defer cl.Close()
 	var ids []int
 	for _, c := range caps {
 		b := cl.AddBackend(c)
@@ -72,11 +100,60 @@ func main() {
 		})
 	}
 
-	log.Printf("spotweb-lb listening on %s (vanilla=%v, %d backends)", *listen, *vanilla, len(ids))
-	if err := http.ListenAndServe(*listen, cl); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	lbSrv := &http.Server{Addr: *listen, Handler: cl}
+	var monSrv *http.Server
+	if *metricsAddr != "" {
+		api := &monitor.API{
+			Collector:   collector,
+			Metrics:     reg,
+			Journal:     journal,
+			EnablePProf: true,
+		}
+		monSrv = &http.Server{Addr: *metricsAddr, Handler: api.Handler()}
+		go func() {
+			log.Printf("instrumentation on %s (/stats /healthz /metrics /events /debug/pprof)", *metricsAddr)
+			if err := monSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Fatal(err)
+			}
+		}()
 	}
+	go func() {
+		log.Printf("spotweb-lb listening on %s (vanilla=%v, %d backends)", *listen, *vanilla, len(ids))
+		if err := lbSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}()
+
+	<-ctx.Done()
+	stop() // a second signal kills hard
+	log.Printf("shutdown: draining HTTP servers and backends")
+	shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := lbSrv.Shutdown(shCtx); err != nil {
+		log.Printf("shutdown: lb server: %v", err)
+	}
+	if monSrv != nil {
+		if err := monSrv.Shutdown(shCtx); err != nil {
+			log.Printf("shutdown: metrics server: %v", err)
+		}
+	}
+	cl.Close()
+	if reg != nil {
+		fmt.Fprintln(os.Stderr, "# final metrics snapshot")
+		reg.WritePrometheus(os.Stderr)
+	}
+	if journal != nil {
+		evs := journal.Events()
+		fmt.Fprintf(os.Stderr, "# final event journal (%d retained)\n", len(evs))
+		for _, e := range evs {
+			fmt.Fprintf(os.Stderr, "# event seq=%d at=%s type=%s backend=%d market=%d %s\n",
+				e.Seq, e.At.Format(time.RFC3339Nano), e.Type, e.Backend, e.Market, e.Detail)
+		}
+	}
+	log.Printf("shutdown complete")
 }
 
 func parseFloats(s string) ([]float64, error) {

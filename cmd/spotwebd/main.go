@@ -14,20 +14,34 @@
 //
 //	curl http://localhost:8080/                 # a user request via the LB
 //	curl http://localhost:8081/stats            # live latency/throughput
+//	curl http://localhost:8081/metrics          # Prometheus exposition
+//	curl http://localhost:8081/events           # revocation event journal
 //	curl http://localhost:8081/portfolio        # the executed portfolio
 //	curl http://localhost:8081/markets          # market snapshot
+//	go tool pprof http://localhost:8081/debug/pprof/profile
+//
+// SIGINT/SIGTERM triggers a graceful shutdown: both HTTP servers drain,
+// the backends terminate, and a final metrics + events snapshot is flushed
+// to stderr.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"math/rand"
 	"net/http"
+	"os"
+	"os/signal"
 	"sync"
+	"syscall"
 	"time"
 
 	spotweb "repro"
 	"repro/internal/linalg"
+	"repro/internal/metrics"
 	"repro/internal/monitor"
 	"repro/internal/parallel"
 	"repro/internal/testbed"
@@ -42,11 +56,21 @@ func main() {
 	capScale := flag.Float64("cap-scale", 0.2, "scale factor for backend capacities (testbed-sized)")
 	warning := flag.Duration("warning", 5*time.Second, "revocation warning period")
 	parallelism := flag.Int("parallelism", 0, "optimizer worker bound: 0/1 serial, n>1 up to n workers, <0 all cores")
+	enableMetrics := flag.Bool("metrics", true, "enable the metrics registry, /metrics, /events and pprof")
+	slo := flag.Duration("slo", 500*time.Millisecond, "latency SLO threshold for the attainment tracker")
 	flag.Parse()
 
 	// Route the optimizer's dense linear algebra through the shared pool;
 	// plans are bit-identical at any width, only solve latency changes.
 	linalg.SetPool(parallel.PoolFor(*parallelism))
+
+	var reg *metrics.Registry
+	var journal *metrics.Journal
+	if *enableMetrics {
+		reg = metrics.NewRegistry()
+		journal = metrics.NewJournal(0)
+		reg.SetJournal(journal)
+	}
 
 	cat := spotweb.SyntheticCatalog(spotweb.CatalogConfig{
 		Seed: *seed, NumTypes: *markets, Hours: 24 * 30,
@@ -54,6 +78,7 @@ func main() {
 	ctrl, err := spotweb.NewController(spotweb.ControllerOptions{
 		Catalog:   cat,
 		Optimizer: spotweb.OptimizerConfig{Horizon: 4, ChurnKappa: 1.0, Parallelism: *parallelism},
+		Metrics:   reg,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -73,8 +98,10 @@ func main() {
 			collector.Record(lat, dropped)
 			rates.Mark()
 		},
+		Metrics:   reg,
+		Journal:   journal,
+		SLOTarget: *slo,
 	})
-	defer cluster.Close()
 
 	caps := make([]float64, cat.Len())
 	for i, m := range cat.Markets {
@@ -96,16 +123,27 @@ func main() {
 			}
 			return out
 		},
+		Metrics:     reg,
+		Journal:     journal,
+		EnablePProf: *enableMetrics,
 	}
 
-	// Control loop: observe, plan, execute.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Control loop: observe, plan, execute — until shutdown.
 	go func() {
 		rng := rand.New(rand.NewSource(*seed))
 		t := 0
 		observed := 20.0 // bootstrap rate until real traffic is measured
 		tick := time.NewTicker(*interval)
 		defer tick.Stop()
-		for range tick.C {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+			}
 			if completed := rates.CompletedRates(); len(completed) > 0 {
 				observed = completed[len(completed)-1]
 				if observed < 1 {
@@ -131,7 +169,7 @@ func main() {
 					continue
 				}
 				if rng.Float64() < m.FailProbAt(t) {
-					victims := victimsInMarket(cluster, cat.Len(), i)
+					victims := victimsInMarket(cluster, i)
 					if len(victims) > 0 {
 						log.Printf("revocation warning: market %s, backends %v", m.ID(), victims)
 						mkMon.RelayWarning(monitor.Warning{
@@ -146,15 +184,57 @@ func main() {
 		}
 	}()
 
+	lbSrv := &http.Server{Addr: *listen, Handler: cluster}
+	monSrv := &http.Server{Addr: *monAddr, Handler: api.Handler()}
 	go func() {
-		log.Printf("monitoring REST on %s (/stats /markets /portfolio /warnings /healthz)", *monAddr)
-		if err := http.ListenAndServe(*monAddr, api.Handler()); err != nil {
+		log.Printf("monitoring REST on %s (/stats /markets /portfolio /warnings /healthz /metrics /events)", *monAddr)
+		if err := monSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Fatal(err)
 		}
 	}()
-	log.Printf("spotwebd load balancer on %s (%d markets, %s re-planning)", *listen, cat.Len(), *interval)
-	if err := http.ListenAndServe(*listen, cluster); err != nil {
-		log.Fatal(err)
+	go func() {
+		log.Printf("spotwebd load balancer on %s (%d markets, %s re-planning)", *listen, cat.Len(), *interval)
+		if err := lbSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}()
+
+	<-ctx.Done()
+	stop() // restore default signal behaviour: a second signal kills hard
+	log.Printf("shutdown: draining HTTP servers and backends")
+	shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := lbSrv.Shutdown(shCtx); err != nil {
+		log.Printf("shutdown: lb server: %v", err)
+	}
+	if err := monSrv.Shutdown(shCtx); err != nil {
+		log.Printf("shutdown: monitor server: %v", err)
+	}
+	cluster.Close()
+	flushFinalSnapshot(reg, journal, collector)
+	log.Printf("shutdown complete")
+}
+
+// flushFinalSnapshot writes a last metrics scrape and journal summary to
+// stderr so a terminated run leaves its evidence behind even with no
+// scraper attached.
+func flushFinalSnapshot(reg *metrics.Registry, journal *metrics.Journal, collector *monitor.Collector) {
+	if collector != nil {
+		life := collector.Lifetime()
+		fmt.Fprintf(os.Stderr, "# final lifetime stats: served=%d dropped=%d p50=%.4fs p99=%.4fs\n",
+			life.Served, life.Dropped, life.P50, life.P99)
+	}
+	if reg != nil {
+		fmt.Fprintln(os.Stderr, "# final metrics snapshot")
+		reg.WritePrometheus(os.Stderr)
+	}
+	if journal != nil {
+		evs := journal.Events()
+		fmt.Fprintf(os.Stderr, "# final event journal (%d retained)\n", len(evs))
+		for _, e := range evs {
+			fmt.Fprintf(os.Stderr, "# event seq=%d at=%s type=%s backend=%d market=%d %s\n",
+				e.Seq, e.At.Format(time.RFC3339Nano), e.Type, e.Backend, e.Market, e.Detail)
+		}
 	}
 }
 
@@ -163,13 +243,12 @@ func main() {
 func scaleCounts(counts []int, _ float64) []int { return counts }
 
 // victimsInMarket lists the live backend ids bought in a market.
-func victimsInMarket(c *testbed.Cluster, numMarkets, mkt int) []int {
+func victimsInMarket(c *testbed.Cluster, mkt int) []int {
 	var out []int
 	for id, b := range c.Snapshot() {
 		if b == mkt {
 			out = append(out, id)
 		}
 	}
-	_ = numMarkets
 	return out
 }

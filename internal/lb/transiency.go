@@ -2,6 +2,8 @@ package lb
 
 import (
 	"sync"
+
+	"repro/internal/metrics"
 )
 
 // RevocationAction is the load balancer's response to a revocation warning
@@ -132,6 +134,10 @@ type Balancer struct {
 	HighUtil float64
 	// Vanilla disables transiency awareness.
 	Vanilla bool
+	// Journal, when set, records the drain/migration lifecycle (warning
+	// action chosen, sessions migrated, drain completed). A nil journal
+	// costs nothing on these paths.
+	Journal *metrics.Journal
 
 	mu sync.Mutex
 	// draining backends are fully out of rotation (survivors have
@@ -243,6 +249,7 @@ func (b *Balancer) HandleWarning(backend int, utilization, startDelay, warning f
 		b.soft[backend] = true
 	}
 	b.mu.Unlock()
+	b.Journal.Record(metrics.EvDrainStart, backend, -1, action.String())
 	migrated := 0
 	if action == ActionRedistribute {
 		migrated = b.MigrateOff(backend)
@@ -283,7 +290,7 @@ func (b *Balancer) MigrateOff(backend int) int {
 	if len(targets) == 0 {
 		return 0
 	}
-	return b.Sessions.MigrateAll(backend, func() (int, bool) {
+	migrated := b.Sessions.MigrateAll(backend, func() (int, bool) {
 		best := -1
 		bestScore := 0.0
 		for i, tg := range targets {
@@ -295,6 +302,10 @@ func (b *Balancer) MigrateOff(backend int) int {
 		targets[best].bound++
 		return targets[best].id, true
 	})
+	if migrated > 0 {
+		b.Journal.Record(metrics.EvSessionsMigrated, backend, -1, "n="+metrics.Itoa(migrated))
+	}
+	return migrated
 }
 
 // CompleteDrain migrates any sessions still bound to a drained backend (the
@@ -307,6 +318,7 @@ func (b *Balancer) CompleteDrain(backend int) {
 	delete(b.draining, backend)
 	delete(b.soft, backend)
 	b.mu.Unlock()
+	b.Journal.Record(metrics.EvDrainComplete, backend, -1, "")
 }
 
 // Draining reports whether a backend is draining (hard or soft).

@@ -1,0 +1,221 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// TextContentType is the Prometheus text exposition content type.
+const TextContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every registered family in Prometheus text
+// format, in registration order, with HELP/TYPE headers. SLO trackers
+// expand into attainment/target/total series; an attached journal is
+// rendered as spotweb_events_total{type="..."}. Safe to call concurrently
+// with the instrumented hot paths.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	fams := make([]*family, 0, len(names))
+	for _, n := range names {
+		fams = append(fams, r.families[n])
+	}
+	journal := r.journal
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		r.mu.Lock()
+		keys := append([]string(nil), f.order...)
+		srs := make([]*series, 0, len(keys))
+		for _, k := range keys {
+			srs = append(srs, f.series[k])
+		}
+		r.mu.Unlock()
+
+		// SLO families expand into multiple derived families.
+		if len(srs) > 0 && srs[0].slo != nil {
+			writeSLOFamily(w, f, srs)
+			continue
+		}
+		if f.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range srs {
+			switch {
+			case s.counter != nil:
+				fmt.Fprintf(w, "%s%s %d\n", f.name, s.labels, s.counter.Value())
+			case s.counterFn != nil:
+				fmt.Fprintf(w, "%s%s %d\n", f.name, s.labels, s.counterFn())
+			case s.gauge != nil:
+				fmt.Fprintf(w, "%s%s %s\n", f.name, s.labels, fmtFloat(s.gauge.Value()))
+			case s.gaugeFn != nil:
+				fmt.Fprintf(w, "%s%s %s\n", f.name, s.labels, fmtFloat(s.gaugeFn()))
+			case s.hist != nil:
+				writeHistogram(w, f.name, s.labels, s.hist)
+			}
+		}
+	}
+
+	if journal != nil {
+		counts := journal.Counts()
+		types := make([]string, 0, len(counts))
+		for t := range counts {
+			types = append(types, t)
+		}
+		sort.Strings(types)
+		fmt.Fprintf(w, "# HELP spotweb_events_total Lifetime journal event counts by type.\n")
+		fmt.Fprintf(w, "# TYPE spotweb_events_total counter\n")
+		for _, t := range types {
+			fmt.Fprintf(w, "spotweb_events_total{type=%q} %d\n", t, counts[t])
+		}
+	}
+}
+
+// writeHistogram renders one histogram series: non-empty cumulative
+// buckets, +Inf, _sum and _count.
+func writeHistogram(w io.Writer, name, labels string, h *Histogram) {
+	base := strings.TrimSuffix(labels, "}")
+	sep := ","
+	if base == "" {
+		base = "{"
+		sep = ""
+	}
+	for _, b := range h.NonEmptyBuckets() {
+		fmt.Fprintf(w, "%s_bucket%s%sle=\"%s\"} %d\n", name, base, sep, fmtSecondsUS(b.UpperUS), b.Cumulative)
+	}
+	fmt.Fprintf(w, "%s_bucket%s%sle=\"+Inf\"} %d\n", name, base, sep, h.Count())
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, labels, fmtFloat(h.Sum()))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labels, h.Count())
+}
+
+// writeSLOFamily renders the derived series of SLO trackers registered
+// under one name.
+func writeSLOFamily(w io.Writer, f *family, srs []*series) {
+	type derived struct {
+		suffix, help, kind string
+		value              func(t *SLOTracker) string
+	}
+	ds := []derived{
+		{"_attainment_ratio", " (fraction of requests within the SLO, trailing window)", "gauge",
+			func(t *SLOTracker) string { return fmtFloat(t.WindowAttainment()) }},
+		{"_attainment_ratio_cumulative", " (fraction of requests within the SLO, since start)", "gauge",
+			func(t *SLOTracker) string { return fmtFloat(t.CumulativeAttainment()) }},
+		{"_target_seconds", " (SLO latency threshold)", "gauge",
+			func(t *SLOTracker) string { return fmtFloat(t.Target().Seconds()) }},
+		{"_good_total", " (requests within the SLO, since start)", "counter",
+			func(t *SLOTracker) string { g, _ := t.Totals(); return strconv.FormatInt(g, 10) }},
+		{"_requests_total", " (requests measured against the SLO, since start)", "counter",
+			func(t *SLOTracker) string { _, n := t.Totals(); return strconv.FormatInt(n, 10) }},
+	}
+	for _, d := range ds {
+		fmt.Fprintf(w, "# HELP %s%s %s\n", f.name, d.suffix, escapeHelp(f.help+d.help))
+		fmt.Fprintf(w, "# TYPE %s%s %s\n", f.name, d.suffix, d.kind)
+		for _, s := range srs {
+			if s.slo == nil {
+				continue
+			}
+			fmt.Fprintf(w, "%s%s%s %s\n", f.name, d.suffix, s.labels, d.value(s.slo))
+		}
+	}
+}
+
+func fmtFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// fmtSecondsUS renders an integer-microsecond bound as an exact decimal
+// seconds string ("0.001024"), avoiding binary-float noise in le labels.
+func fmtSecondsUS(us int64) string {
+	whole := us / 1e6
+	frac := us % 1e6
+	if frac == 0 {
+		return strconv.FormatInt(whole, 10)
+	}
+	fs := strconv.FormatInt(frac, 10)
+	for len(fs) < 6 {
+		fs = "0" + fs
+	}
+	fs = strings.TrimRight(fs, "0")
+	return strconv.FormatInt(whole, 10) + "." + fs
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Handler returns an http.Handler serving the registry in Prometheus text
+// format (the /metrics endpoint).
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		if r == nil {
+			http.Error(w, "metrics disabled", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", TextContentType)
+		r.WritePrometheus(w)
+	})
+}
+
+// JournalHandler returns an http.Handler serving the journal as a JSON
+// array, oldest first (the /events endpoint). The optional `type` query
+// parameter filters by event type; `n` limits to the newest n entries.
+func JournalHandler(j *Journal) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if j == nil {
+			http.Error(w, "journal disabled", http.StatusNotFound)
+			return
+		}
+		evs := j.Events()
+		if typ := r.URL.Query().Get("type"); typ != "" {
+			kept := evs[:0]
+			for _, e := range evs {
+				if e.Type == typ {
+					kept = append(kept, e)
+				}
+			}
+			evs = kept
+		}
+		if nq := r.URL.Query().Get("n"); nq != "" {
+			n, err := strconv.Atoi(nq)
+			if err != nil || n < 0 {
+				http.Error(w, "bad n", http.StatusBadRequest)
+				return
+			}
+			if n < len(evs) {
+				evs = evs[len(evs)-n:]
+			}
+		}
+		if evs == nil {
+			evs = []Event{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(evs); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}
+
+// RegisterPProf wires the net/http/pprof handlers onto a mux under
+// /debug/pprof/ — profiling is part of the observability contract (the
+// "fast as the hardware allows" north star needs flame graphs, not
+// guesses).
+func RegisterPProf(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/market"
+	"repro/internal/metrics"
 )
 
 // MarketSnapshot is one market's state at an interval — what the paper's
@@ -102,6 +103,10 @@ func (m *MarketMonitor) Warnings() []Warning {
 //	GET /warnings         → []Warning
 //	GET /portfolio        → map market-index → weight (if a source is set)
 //	GET /healthz          → 200 ok
+//	GET /metrics          → Prometheus text exposition (if a registry is set)
+//	GET /events           → event journal as JSON, oldest first (if set);
+//	                        ?type= filters, ?n= limits to the newest n
+//	GET /debug/pprof/*    → net/http/pprof (if EnablePProf)
 type API struct {
 	Collector *Collector
 	Markets   *MarketMonitor
@@ -110,6 +115,13 @@ type API struct {
 	// Interval maps wall time to the market-series interval index; when nil
 	// the t query parameter is required for /markets.
 	Interval func() int
+	// Metrics optionally serves the Prometheus registry at /metrics.
+	Metrics *metrics.Registry
+	// Journal optionally serves the structured event journal at /events.
+	Journal *metrics.Journal
+	// EnablePProf registers the net/http/pprof handlers under
+	// /debug/pprof/.
+	EnablePProf bool
 }
 
 // Handler returns the REST handler.
@@ -163,6 +175,11 @@ func (a *API) Handler() http.Handler {
 		}
 		writeJSON(w, out)
 	})
+	mux.Handle("/metrics", metrics.Handler(a.Metrics))
+	mux.Handle("/events", metrics.JournalHandler(a.Journal))
+	if a.EnablePProf {
+		metrics.RegisterPProf(mux)
+	}
 	return mux
 }
 

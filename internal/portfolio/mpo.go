@@ -23,6 +23,9 @@ type Plan struct {
 	SolveTime  time.Duration
 	Iterations int
 	Status     solver.Status
+	// PriRes is the solver's final primal residual (inf-norm) — the
+	// convergence quality the monitoring subsystem exposes per solve.
+	PriRes float64
 }
 
 // First returns the first-interval allocation (the executed trade).
@@ -177,6 +180,7 @@ func Optimize(cfg Config, in *Inputs) (*Plan, error) {
 		SolveTime:  time.Since(start),
 		Iterations: res.Iterations,
 		Status:     res.Status,
+		PriRes:     res.PriRes,
 	}
 	for τ := 0; τ < c.Horizon; τ++ {
 		alloc := linalg.Vector(res.X[τ*n : (τ+1)*n]).Clone()

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/linalg"
 	"repro/internal/market"
+	"repro/internal/metrics"
 	"repro/internal/predict"
 )
 
@@ -115,6 +116,10 @@ type Planner struct {
 	// MinServerFraction drops allocations smaller than this fraction of one
 	// server (default 0.05).
 	MinServerFraction float64
+	// Metrics, when set, records per-Step solver health (iterations,
+	// residual, wall time, status), plan churn and the expected spend rate.
+	// Nil disables instrumentation for free.
+	Metrics *metrics.Registry
 
 	prevAlloc linalg.Vector
 	lastPred  float64
@@ -182,8 +187,10 @@ func (p *Planner) Step(t int, actualLambda float64) (*Decision, error) {
 	}
 	plan, err := Optimize(p.Cfg, in)
 	if err != nil {
+		p.Metrics.Counter("spotweb_solver_errors_total", "MPO solves that failed.").Inc()
 		return nil, err
 	}
+	p.recordMetrics(t, plan, in)
 	p.prevAlloc = plan.First().Clone()
 
 	caps := make([]float64, p.Cat.Len())
@@ -197,4 +204,46 @@ func (p *Planner) Step(t int, actualLambda float64) (*Decision, error) {
 		PredictedLambda: lambda[0],
 		Capacity:        CapacityOf(counts, caps),
 	}, nil
+}
+
+// recordMetrics publishes one solve's health and the executed portfolio's
+// economics. Every call is a no-op when p.Metrics is nil — the handles it
+// asks for come back nil and their methods return immediately.
+func (p *Planner) recordMetrics(t int, plan *Plan, in *Inputs) {
+	m := p.Metrics
+	if m == nil {
+		return
+	}
+	m.Counter("spotweb_solver_solves_total", "MPO solves performed.").Inc()
+	m.Counter("spotweb_solver_iterations_total", "Cumulative solver iterations across all solves.").
+		Add(int64(plan.Iterations))
+	m.Counter("spotweb_solver_status_total", "Solves by termination status.",
+		metrics.L("status", plan.Status.String())).Inc()
+	m.Histogram("spotweb_solver_solve_seconds", "Optimizer wall time per solve (the Fig. 7(b) metric).").
+		Observe(plan.SolveTime.Seconds())
+	m.Gauge("spotweb_solver_residual", "Final primal residual (inf-norm) of the last solve.").
+		Set(plan.PriRes)
+	m.Gauge("spotweb_plan_interval", "Planning interval index of the last solve.").Set(float64(t))
+
+	// Plan churn: L1 distance between consecutive executed allocations —
+	// the quantity the ChurnKappa regularizer penalizes.
+	first := plan.First()
+	var churn float64
+	if p.prevAlloc != nil {
+		for i := range first {
+			churn += math.Abs(first[i] - p.prevAlloc[i])
+		}
+	}
+	m.Gauge("spotweb_plan_churn", "L1 distance between consecutive executed allocations.").Set(churn)
+
+	// Expected spend rate of the executed interval: λ · Σ_i A_i · c_i
+	// ($/s), the per-interval cost the Fig. 5/6 savings claims integrate.
+	var spend float64
+	if len(in.PerReqCost) > 0 && len(in.Lambda) > 0 {
+		for i := range first {
+			spend += first[i] * in.PerReqCost[0][i]
+		}
+		spend *= in.Lambda[0]
+	}
+	m.Gauge("spotweb_plan_spend_dollars_per_sec", "Expected spend rate of the executed allocation.").Set(spend)
 }

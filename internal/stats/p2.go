@@ -9,6 +9,11 @@ import (
 // a single quantile in O(1) memory without storing samples — the right tool
 // for the monitoring subsystem's long-running tail-latency gauges, where a
 // sliding sample window would grow with traffic.
+//
+// Not safe for concurrent use: callers must serialize Observe/Value. The
+// concurrent-safe alternative for hot request paths is metrics.Histogram
+// (internal/metrics), which trades exact streaming estimation for
+// lock-free log-linear buckets.
 type P2Quantile struct {
 	p       float64
 	q       [5]float64 // marker heights

@@ -119,6 +119,10 @@ func (f FiveNum) String() string {
 }
 
 // Histogram is a fixed-width-bin histogram over [Lo, Hi].
+//
+// Not safe for concurrent use: Observe and the readers must be externally
+// synchronized. For a concurrent-safe latency histogram with atomic
+// observation, use metrics.Histogram (internal/metrics).
 type Histogram struct {
 	Lo, Hi float64
 	Counts []int

@@ -15,6 +15,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // BackendConfig sets the service model of one backend server.
@@ -67,6 +69,11 @@ type Backend struct {
 	served   atomic.Int64
 	shed     atomic.Int64
 	closed   atomic.Bool
+
+	// Per-backend instrument handles (nil when the cluster runs without a
+	// metrics registry; all operations on them are then no-ops).
+	metReqs *metrics.Counter
+	metLat  *metrics.Histogram
 }
 
 // newBackend starts the HTTP server immediately; readiness is gated on

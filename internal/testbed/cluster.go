@@ -4,9 +4,11 @@ import (
 	"io"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/lb"
+	"repro/internal/metrics"
 )
 
 // ClusterConfig configures the testbed web cluster.
@@ -25,6 +27,28 @@ type ClusterConfig struct {
 	// whether it was dropped) — the hook the monitoring collector attaches
 	// to.
 	OnRequest func(latency time.Duration, dropped bool)
+	// Metrics, when set, instruments the cluster: front-end and per-backend
+	// request counters, latency histograms, queue-depth/capacity gauges and
+	// the SLO-attainment tracker. Nil disables instrumentation at
+	// near-zero cost (one branch per request).
+	Metrics *metrics.Registry
+	// Journal, when set, records the fleet lifecycle (backend up, warning
+	// received, drain, migration, replacement, admission control on/off,
+	// termination).
+	Journal *metrics.Journal
+	// SLOTarget is the latency SLO threshold fed to the attainment tracker
+	// (default 500 ms; the paper holds p99 at sub-second scale).
+	SLOTarget time.Duration
+}
+
+// clusterMetrics bundles the front-end instrument handles. All fields are
+// nil (and all operations no-ops) when metrics are disabled.
+type clusterMetrics struct {
+	requests *metrics.Counter
+	failed   *metrics.Counter
+	unrouted *metrics.Counter
+	latency  *metrics.Histogram
+	slo      *metrics.SLOTracker
 }
 
 // Cluster is the testbed web cluster: backends plus the front-end balancer.
@@ -33,6 +57,10 @@ type Cluster struct {
 	cfg      ClusterConfig
 	balancer *lb.Balancer
 	client   *http.Client
+
+	instrumented bool // OnRequest or Metrics present: time requests
+	met          clusterMetrics
+	admission    atomic.Bool // admission control currently in force
 
 	mu       sync.Mutex
 	backends map[int]*Backend
@@ -44,6 +72,9 @@ type Cluster struct {
 func NewCluster(cfg ClusterConfig) *Cluster {
 	if cfg.FailDetect <= 0 {
 		cfg.FailDetect = 20
+	}
+	if cfg.SLOTarget <= 0 {
+		cfg.SLOTarget = 500 * time.Millisecond
 	}
 	c := &Cluster{
 		cfg:      cfg,
@@ -59,7 +90,57 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 		},
 	}
 	c.balancer.Vanilla = cfg.Vanilla
+	c.balancer.Journal = cfg.Journal
+	c.instrumented = cfg.OnRequest != nil || cfg.Metrics != nil
+	if r := cfg.Metrics; r != nil {
+		c.met = clusterMetrics{
+			requests: r.Counter("spotweb_lb_requests_total", "Requests handled by the front-end load balancer."),
+			failed:   r.Counter("spotweb_lb_requests_failed_total", "Requests that returned a non-200 status."),
+			unrouted: r.Counter("spotweb_lb_unrouted_total", "Requests with no routable backend (admission control / empty fleet)."),
+			latency:  r.Histogram("spotweb_lb_request_seconds", "End-to-end request latency through the load balancer."),
+			slo: r.SLO("spotweb_slo", "Latency SLO attainment.",
+				metrics.NewSLOTracker(cfg.SLOTarget, time.Minute, 15)),
+		}
+		r.GaugeFunc("spotweb_backends_live", "Backends in rotation (ready or booting, not draining).",
+			func() float64 { return float64(len(c.Snapshot())) })
+		r.GaugeFunc("spotweb_backends_draining", "Backends pulled from rotation awaiting termination.",
+			func() float64 { return float64(c.drainingCount()) })
+		r.GaugeFunc("spotweb_lb_queue_depth", "In-flight requests across all backends.",
+			func() float64 { return float64(c.InflightRequests()) })
+		r.GaugeFunc("spotweb_ready_capacity_req_per_sec", "Warm-adjusted capacity of ready backends.",
+			c.TotalReadyCapacity)
+		r.GaugeFunc("spotweb_sessions_live", "Sticky sessions currently bound.",
+			func() float64 { return float64(c.balancer.Sessions.Len()) })
+	}
 	return c
+}
+
+// drainingCount returns the number of registered, unterminated backends
+// currently draining.
+func (c *Cluster) drainingCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for id, b := range c.backends {
+		if !b.closed.Load() && c.balancer.Draining(id) {
+			n++
+		}
+	}
+	return n
+}
+
+// InflightRequests sums the in-flight request count over live backends (the
+// cluster-wide queue depth).
+func (c *Cluster) InflightRequests() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var n int64
+	for _, b := range c.backends {
+		if !b.closed.Load() {
+			n += b.inflight.Load()
+		}
+	}
+	return n
 }
 
 // AddBackend launches a new server and registers it with the balancer using
@@ -67,33 +148,58 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 // once its simulated boot completes (a health-checked launch, as HAProxy
 // would do): routing to a booting server would shed every request.
 func (c *Cluster) AddBackend(capacity float64) *Backend {
+	return c.addBackend(-1, capacity, false)
+}
+
+// AddBackendForMarket launches a backend tagged with a catalog market index,
+// enabling portfolio-driven scaling via ScaleTo.
+func (c *Cluster) AddBackendForMarket(mkt int, capacity float64) *Backend {
+	return c.addBackend(mkt, capacity, false)
+}
+
+// addBackend is the shared launch path. replacement marks a server started
+// to absorb a revocation (§6.1 reprovisioning): its rotation-join is
+// journaled as replacement_up and lifts admission control if in force.
+func (c *Cluster) addBackend(mkt int, capacity float64, replacement bool) *Backend {
 	c.mu.Lock()
 	id := c.nextID
 	c.nextID++
 	bcfg := c.cfg.Backend
 	bcfg.Capacity = capacity
 	b := newBackend(id, bcfg)
+	b.Market = mkt
 	c.backends[id] = b
 	c.mu.Unlock()
-	if bcfg.StartDelay <= 0 {
+	if r := c.cfg.Metrics; r != nil {
+		labels := []metrics.Label{metrics.L("backend", metrics.Itoa(id)), metrics.L("market", metrics.Itoa(mkt))}
+		b.metReqs = r.Counter("spotweb_backend_requests_total", "Requests proxied to the backend.", labels...)
+		b.metLat = r.Histogram("spotweb_backend_request_seconds", "Backend-observed request latency.", labels...)
+		r.CounterFunc("spotweb_backend_shed_total", "Requests shed with 503 by the backend overload guard.",
+			b.Shed, labels...)
+	}
+	if replacement {
+		c.cfg.Journal.Record(metrics.EvReplacementStarted, id, mkt, "")
+	}
+	join := func() {
 		c.balancer.WRR.SetWeight(id, capacity)
+		if replacement {
+			c.cfg.Journal.Record(metrics.EvReplacementUp, id, mkt, "")
+			if c.admission.CompareAndSwap(true, false) {
+				c.cfg.Journal.Record(metrics.EvAdmissionOff, id, -1, "replacement capacity routable")
+			}
+		} else {
+			c.cfg.Journal.Record(metrics.EvBackendUp, id, mkt, "")
+		}
+	}
+	if bcfg.StartDelay <= 0 {
+		join()
 	} else {
 		time.AfterFunc(bcfg.StartDelay, func() {
 			if !b.closed.Load() {
-				c.balancer.WRR.SetWeight(id, capacity)
+				join()
 			}
 		})
 	}
-	return b
-}
-
-// AddBackendForMarket launches a backend tagged with a catalog market index,
-// enabling portfolio-driven scaling via ScaleTo.
-func (c *Cluster) AddBackendForMarket(mkt int, capacity float64) *Backend {
-	b := c.AddBackend(capacity)
-	c.mu.Lock()
-	b.Market = mkt
-	c.mu.Unlock()
 	return b
 }
 
@@ -149,12 +255,14 @@ func (c *Cluster) ScaleTo(counts []int, capacities []float64) (started, stopped 
 // drain removes a backend from rotation and terminates it after the warning
 // period (voluntary scale-down; no replacement).
 func (c *Cluster) drain(b *Backend) {
+	c.cfg.Journal.Record(metrics.EvScaleDown, b.ID, b.Market, "")
 	// Redistribute is always safe for voluntary scale-down: the controller
 	// chose the smaller fleet deliberately.
 	c.balancer.HandleWarning(b.ID, 0, c.cfg.Backend.StartDelay.Seconds(), c.cfg.Warning.Seconds())
 	go func() {
 		time.Sleep(c.cfg.Warning)
 		b.terminate()
+		c.cfg.Journal.Record(metrics.EvBackendTerminated, b.ID, b.Market, "scale_down")
 		c.balancer.CompleteDrain(b.ID)
 	}()
 }
@@ -211,6 +319,7 @@ func (c *Cluster) Revoke(ids []int, offeredRate float64) {
 		if b == nil {
 			continue
 		}
+		c.cfg.Journal.Record(metrics.EvWarning, id, b.Market, "")
 		if !c.cfg.Vanilla {
 			remaining := c.TotalReadyCapacity() - lost
 			util := 2.0
@@ -219,15 +328,19 @@ func (c *Cluster) Revoke(ids []int, offeredRate float64) {
 			}
 			action, _ := c.balancer.HandleWarning(id, util,
 				c.cfg.Backend.StartDelay.Seconds(), c.cfg.Warning.Seconds())
+			if action == lb.ActionAdmissionControl && c.admission.CompareAndSwap(false, true) {
+				c.cfg.Journal.Record(metrics.EvAdmissionOn, id, b.Market, "replacements cannot start in time")
+			}
 			if action != lb.ActionRedistribute {
 				// Start a replacement of equal capacity; it becomes
 				// routable as soon as it is ready.
-				c.AddBackend(b.cfg.Capacity)
+				c.addBackend(b.Market, b.cfg.Capacity, true)
 			}
 		}
 		go func(b *Backend, id int) {
 			time.Sleep(c.cfg.Warning)
 			b.terminate()
+			c.cfg.Journal.Record(metrics.EvBackendTerminated, id, b.Market, "revoked")
 			if !c.cfg.Vanilla {
 				c.balancer.CompleteDrain(id)
 			}
@@ -242,12 +355,23 @@ func (c *Cluster) Revoke(ids []int, offeredRate float64) {
 // not.
 func (c *Cluster) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	session := r.Header.Get("X-Session")
-	if c.cfg.OnRequest != nil {
+	if c.instrumented {
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w}
 		c.serve(sw, session)
+		lat := time.Since(start)
 		ok := sw.code == http.StatusOK || sw.code == 0
-		c.cfg.OnRequest(time.Since(start), !ok)
+		if c.cfg.OnRequest != nil {
+			c.cfg.OnRequest(lat, !ok)
+		}
+		c.met.requests.Inc()
+		c.met.latency.Observe(lat.Seconds())
+		if ok {
+			c.met.slo.Observe(lat)
+		} else {
+			c.met.failed.Inc()
+			c.met.slo.Miss()
+		}
 		return
 	}
 	c.serve(w, session)
@@ -274,13 +398,22 @@ func (c *Cluster) serve(w http.ResponseWriter, session string) {
 	for attempt := 0; attempt < tries; attempt++ {
 		id, ok := c.balancer.Route(session)
 		if !ok {
+			c.met.unrouted.Inc()
 			break
 		}
 		b := c.backend(id)
 		if b == nil {
 			continue
 		}
+		var bstart time.Time
+		if b.metLat != nil {
+			bstart = time.Now()
+		}
 		resp, err := c.client.Get(b.URL())
+		b.metReqs.Inc()
+		if b.metLat != nil {
+			b.metLat.Observe(time.Since(bstart).Seconds())
+		}
 		if err == nil && resp.StatusCode == http.StatusOK {
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()

@@ -41,6 +41,7 @@ import (
 
 	"repro/internal/lb"
 	"repro/internal/market"
+	"repro/internal/metrics"
 	"repro/internal/portfolio"
 	"repro/internal/predict"
 )
@@ -67,7 +68,20 @@ type (
 	Predictor = predict.Predictor
 	// ForecastSource supplies market price/failure forecasts.
 	ForecastSource = portfolio.ForecastSource
+	// MetricsRegistry is the observability registry (counters, gauges,
+	// latency histograms, SLO trackers) exposed in Prometheus text format.
+	MetricsRegistry = metrics.Registry
+	// EventJournal is the bounded structured event log of the revocation
+	// lifecycle.
+	EventJournal = metrics.Journal
 )
+
+// NewMetricsRegistry returns an empty observability registry. Passing nil
+// registries everywhere is the supported "metrics off" mode.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// NewEventJournal returns a bounded event journal (capacity ≤ 0 → 1024).
+func NewEventJournal(capacity int) *EventJournal { return metrics.NewJournal(capacity) }
 
 // NewBalancer returns a transiency-aware load balancer with the paper's
 // defaults (85% high-utilization threshold).
@@ -101,6 +115,9 @@ type ControllerOptions struct {
 	Prices PriceForecastMode
 	// Source overrides the ForecastSource entirely (advanced).
 	Source ForecastSource
+	// Metrics, when set, instruments the control loop (solver iterations,
+	// wall time, residual, plan churn, expected spend).
+	Metrics *MetricsRegistry
 }
 
 // Decision is the per-interval controller output.
@@ -152,8 +169,10 @@ func NewController(opt ControllerOptions) (*Controller, error) {
 			src = portfolio.MeanRevertSource{Cat: opt.Catalog}
 		}
 	}
+	planner := portfolio.NewPlanner(cfg, opt.Catalog, wl, src)
+	planner.Metrics = opt.Metrics
 	return &Controller{
-		planner: portfolio.NewPlanner(cfg, opt.Catalog, wl, src),
+		planner: planner,
 		cat:     opt.Catalog,
 	}, nil
 }
