@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench fmt vet fuzz-smoke smoke ci
+.PHONY: build test race bench fmt vet fuzz-smoke smoke chaos chaos-golden ci
 
 build:
 	$(GO) build ./...
@@ -32,5 +32,14 @@ fuzz-smoke:
 		$(GO) test ./internal/solver -run='^$$' -fuzz="^$$t$$" -fuzztime=30s || exit 1; \
 	done
 
+# chaos runs the built-in fault-injection suite on the simulator and fails if
+# any resilience report deviates from the checked-in golden files.
+chaos:
+	$(GO) run ./cmd/spotweb-chaos -suite all -quick -seed 42 -check cmd/spotweb-chaos/testdata/golden
+
+# chaos-golden regenerates the golden reports after an intentional change.
+chaos-golden:
+	$(GO) run ./cmd/spotweb-chaos -suite all -quick -seed 42 -out cmd/spotweb-chaos/testdata/golden
+
 # ci mirrors .github/workflows/ci.yml so failures reproduce locally.
-ci: build vet fmt test race fuzz-smoke smoke
+ci: build vet fmt test race fuzz-smoke smoke chaos

@@ -32,6 +32,9 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/chaos"
+	"repro/internal/chaos/runner"
+	"repro/internal/lb"
 	"repro/internal/metrics"
 	"repro/internal/monitor"
 	"repro/internal/testbed"
@@ -50,6 +53,11 @@ func main() {
 	revokeAfter := flag.Duration("revoke-after", 0, "inject a revocation after this delay (0 = never)")
 	revoke := flag.String("revoke", "", "comma-separated backend ids to revoke")
 	rate := flag.Float64("rate", 100, "assumed offered rate for the revocation decision")
+	highUtil := flag.Float64("high-util", 0.85, "utilization threshold of the §6.1 revocation decision")
+	chaosScenario := flag.String("chaos-scenario", "", "chaos scenario to replay: a JSON file or a built-in name (empty = none)")
+	chaosDur := flag.Duration("chaos-duration", time.Minute, "wall-clock window the chaos scenario timeline is mapped onto")
+	chaosMarkets := flag.Int("chaos-markets", 3, "synthetic markets the backends are spread over for chaos targeting")
+	seed := flag.Int64("seed", 42, "seed for chaos scenario compilation")
 	flag.Parse()
 
 	caps, err := parseFloats(*backendsFlag)
@@ -66,6 +74,25 @@ func main() {
 		reg.SetJournal(journal)
 	}
 
+	// Optional fault injection: the scenario's normalized timeline is mapped
+	// onto -chaos-duration of wall-clock time starting now. Backends are
+	// tagged round-robin into -chaos-markets synthetic markets so storm
+	// faults have market-shaped targets.
+	var faults *runner.FaultDriver
+	var override func() (lb.RevocationAction, bool)
+	if *chaosScenario != "" {
+		sc, err := chaos.Resolve(*chaosScenario)
+		if err != nil {
+			log.Fatal(err)
+		}
+		in, err := chaos.Compile(sc, *seed, *chaosMarkets)
+		if err != nil {
+			log.Fatal(err)
+		}
+		faults = runner.NewFaultDriver(in, *chaosDur, *warning, *rate)
+		override = faults.Hook()
+	}
+
 	cl := testbed.NewCluster(testbed.ClusterConfig{
 		Backend: testbed.BackendConfig{
 			BaseServiceTime: *service,
@@ -78,15 +105,22 @@ func main() {
 		OnRequest: func(lat time.Duration, dropped bool) {
 			collector.Record(lat, dropped)
 		},
-		Metrics:   reg,
-		Journal:   journal,
-		SLOTarget: *slo,
+		Metrics:        reg,
+		Journal:        journal,
+		SLOTarget:      *slo,
+		HighUtil:       *highUtil,
+		ActionOverride: override,
 	})
 	var ids []int
-	for _, c := range caps {
-		b := cl.AddBackend(c)
+	for i, c := range caps {
+		var b *testbed.Backend
+		if faults != nil {
+			b = cl.AddBackendForMarket(i%*chaosMarkets, c)
+		} else {
+			b = cl.AddBackend(c)
+		}
 		ids = append(ids, b.ID)
-		log.Printf("backend %d: capacity %.0f req/s at %s", b.ID, c, b.URL())
+		log.Printf("backend %d: capacity %.0f req/s at %s (market %d)", b.ID, c, b.URL(), b.Market)
 	}
 
 	if *revokeAfter > 0 && *revoke != "" {
@@ -102,6 +136,11 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if faults != nil {
+		log.Printf("chaos: replaying scenario %q over %s", *chaosScenario, *chaosDur)
+		go faults.Run(ctx, cl)
+	}
 
 	lbSrv := &http.Server{Addr: *listen, Handler: cl}
 	var monSrv *http.Server

@@ -24,12 +24,15 @@ func main() {
 	seed := flag.Int64("seed", 42, "random seed")
 	workload := flag.String("workload", "wiki", "workload for fig6b: wiki or vod")
 	parallelism := flag.Int("parallelism", 0, "optimizer worker bound: 0/1 serial, n>1 up to n workers, <0 all cores")
+	highUtil := flag.Float64("high-util", 0.85, "utilization threshold of the §6.1 revocation decision")
+	warning := flag.Float64("warning", 120, "revocation warning period in seconds")
 	flag.Parse()
 
 	// Route the dense linear algebra through the same pool as the solvers;
 	// results are bit-identical at any width.
 	linalg.SetPool(parallel.PoolFor(*parallelism))
-	opt := experiments.Options{Quick: *quick, Seed: *seed, Parallelism: *parallelism}
+	opt := experiments.Options{Quick: *quick, Seed: *seed, Parallelism: *parallelism,
+		HighUtil: *highUtil, WarningSec: *warning}
 	w := os.Stdout
 
 	run := func(id string) bool {

@@ -40,6 +40,9 @@ import (
 	"time"
 
 	spotweb "repro"
+	"repro/internal/chaos"
+	"repro/internal/chaos/runner"
+	"repro/internal/lb"
 	"repro/internal/linalg"
 	"repro/internal/metrics"
 	"repro/internal/monitor"
@@ -55,9 +58,12 @@ func main() {
 	seed := flag.Int64("seed", 42, "random seed")
 	capScale := flag.Float64("cap-scale", 0.2, "scale factor for backend capacities (testbed-sized)")
 	warning := flag.Duration("warning", 5*time.Second, "revocation warning period")
+	highUtil := flag.Float64("high-util", 0.85, "utilization threshold of the §6.1 revocation decision")
 	parallelism := flag.Int("parallelism", 0, "optimizer worker bound: 0/1 serial, n>1 up to n workers, <0 all cores")
 	enableMetrics := flag.Bool("metrics", true, "enable the metrics registry, /metrics, /events and pprof")
 	slo := flag.Duration("slo", 500*time.Millisecond, "latency SLO threshold for the attainment tracker")
+	chaosScenario := flag.String("chaos-scenario", "", "chaos scenario to replay: a JSON file or a built-in name (empty = none)")
+	chaosDur := flag.Duration("chaos-duration", 10*time.Minute, "wall-clock window the chaos scenario timeline is mapped onto")
 	flag.Parse()
 
 	// Route the optimizer's dense linear algebra through the shared pool;
@@ -84,6 +90,23 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Optional fault injection: the scenario's normalized timeline is mapped
+	// onto -chaos-duration of wall-clock time starting at daemon startup.
+	var faults *runner.FaultDriver
+	var override func() (lb.RevocationAction, bool)
+	if *chaosScenario != "" {
+		sc, err := chaos.Resolve(*chaosScenario)
+		if err != nil {
+			log.Fatal(err)
+		}
+		in, err := chaos.Compile(sc, *seed, cat.Len())
+		if err != nil {
+			log.Fatal(err)
+		}
+		faults = runner.NewFaultDriver(in, *chaosDur, *warning, 100)
+		override = faults.Hook()
+	}
+
 	collector := monitor.NewCollector(time.Minute)
 	rates := monitor.NewRateSeries(*interval)
 	cluster := testbed.NewCluster(testbed.ClusterConfig{
@@ -98,9 +121,11 @@ func main() {
 			collector.Record(lat, dropped)
 			rates.Mark()
 		},
-		Metrics:   reg,
-		Journal:   journal,
-		SLOTarget: *slo,
+		Metrics:        reg,
+		Journal:        journal,
+		SLOTarget:      *slo,
+		HighUtil:       *highUtil,
+		ActionOverride: override,
 	})
 
 	caps := make([]float64, cat.Len())
@@ -130,6 +155,11 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if faults != nil {
+		log.Printf("chaos: replaying scenario %q over %s", *chaosScenario, *chaosDur)
+		go faults.Run(ctx, cluster)
+	}
 
 	// Control loop: observe, plan, execute — until shutdown.
 	go func() {

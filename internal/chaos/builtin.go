@@ -1,0 +1,92 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+)
+
+func ptr(f float64) *float64 { return &f }
+
+// builtins is the standing scenario suite. The timings assume the standard
+// chaos workload shape (low utilization through the first third of the run,
+// high utilization from mid-run on), so the storm scenario walks the LB
+// through all three revocation responses: an early low-load storm
+// redistributes, a mid-run storm at high load reprovisions, and a
+// short-warning storm at high load forces admission control.
+var builtins = map[string]*Scenario{
+	"storm": {
+		Name:        "storm",
+		Description: "correlated revocation storms at rising utilization: redistribute, then reprovision, then admission control",
+		Faults: []FaultSpec{
+			{Kind: KindStorm, Start: 0.15, Count: 1, WarnScale: ptr(1)},
+			{Kind: KindStorm, Start: 0.55, Count: 2, WarnScale: ptr(1)},
+			{Kind: KindStorm, Start: 0.80, Count: 2, WarnScale: ptr(0.3)},
+		},
+	},
+	"late-warning": {
+		Name:        "late-warning",
+		Description: "revocations under delayed and then fully lost warnings",
+		Faults: []FaultSpec{
+			{Kind: KindWarningDelay, Start: 0.35, Duration: 0.3, Severity: 0.4},
+			{Kind: KindStorm, Start: 0.45, Count: 2, WarnScale: ptr(1)},
+			{Kind: KindWarningLoss, Start: 0.7, Duration: 0.25},
+			{Kind: KindStorm, Start: 0.8, Count: 2, WarnScale: ptr(1)},
+		},
+	},
+	"price-spike": {
+		Name:        "price-spike",
+		Description: "a market-wide price spike that invalidates the current plan, plus a mid-spike revocation",
+		Faults: []FaultSpec{
+			{Kind: KindPriceSpike, Start: 0.35, Duration: 0.4, Severity: 3},
+			{Kind: KindStorm, Start: 0.5, Count: 1, WarnScale: ptr(1)},
+		},
+	},
+	"flap": {
+		Name:        "flap",
+		Description: "capacity flapping (square-wave slowdown) with a storm landing mid-flap",
+		Faults: []FaultSpec{
+			{Kind: KindFlap, Start: 0.3, Duration: 0.55, Period: 0.1, Severity: 0.5},
+			{Kind: KindStorm, Start: 0.6, Count: 1, WarnScale: ptr(1)},
+		},
+	},
+	"combined": {
+		Name:        "combined",
+		Description: "everything at once: copula storm, price spike, slowdown, start-delay jitter, lost warnings",
+		Correlation: [][]float64{
+			{1.0, 0.8, 0.8, 0.2, 0.2, 0.2},
+			{0.8, 1.0, 0.8, 0.2, 0.2, 0.2},
+			{0.8, 0.8, 1.0, 0.2, 0.2, 0.2},
+			{0.2, 0.2, 0.2, 1.0, 0.7, 0.7},
+			{0.2, 0.2, 0.2, 0.7, 1.0, 0.7},
+			{0.2, 0.2, 0.2, 0.7, 0.7, 1.0},
+		},
+		Faults: []FaultSpec{
+			{Kind: KindStartJitter, Start: 0.3, Duration: 0.6, Severity: 1},
+			{Kind: KindPriceSpike, Start: 0.4, Duration: 0.2, Severity: 2.5},
+			{Kind: KindStorm, Start: 0.5, Prob: 0.6, WarnScale: ptr(1)},
+			{Kind: KindSlowdown, Start: 0.55, Duration: 0.15, Severity: 0.7},
+			{Kind: KindWarningLoss, Start: 0.75, Duration: 0.15},
+			{Kind: KindStorm, Start: 0.8, Count: 2, WarnScale: ptr(1)},
+		},
+	},
+}
+
+// BuiltinNames returns the built-in scenario names, sorted.
+func BuiltinNames() []string {
+	out := make([]string, 0, len(builtins))
+	for name := range builtins {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Builtin returns a copy of a built-in scenario by name.
+func Builtin(name string) (*Scenario, error) {
+	sc, ok := builtins[name]
+	if !ok {
+		return nil, fmt.Errorf("chaos: unknown built-in scenario %q (have %v)", name, BuiltinNames())
+	}
+	cp := *sc
+	return &cp, nil
+}

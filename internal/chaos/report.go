@@ -1,0 +1,91 @@
+package chaos
+
+import (
+	"encoding/json"
+	"math"
+)
+
+// Report is the resilience report one scenario run emits. Every field is
+// computed from deterministic inputs (the simulator result, the event
+// journal's type/detail counts — never its wall-clock timestamps), so the
+// same (seed, scenario) pair produces a byte-identical encoding.
+type Report struct {
+	Scenario  string `json:"scenario"`
+	Seed      int64  `json:"seed"`
+	Policy    string `json:"policy"`
+	Intervals int    `json:"intervals"`
+	Markets   int    `json:"markets"`
+
+	// Fault accounting.
+	InjectedRevocations int              `json:"injected_revocations"`
+	NaturalRevocations  int              `json:"natural_revocations"`
+	Actions             map[string]int64 `json:"actions"`      // revocation decisions taken
+	EventCounts         map[string]int64 `json:"event_counts"` // journal lifetime counts
+
+	// Service quality under faults.
+	SLOAttainmentPct float64 `json:"slo_attainment_pct"`
+	ViolationPct     float64 `json:"violation_pct"`
+	DropFraction     float64 `json:"drop_fraction"`
+	DroppedReqs      float64 `json:"dropped_reqs"`
+	MeanLatencySec   float64 `json:"mean_latency_sec"`
+	// OverloadSecs is the time offered load exceeded serving capacity — the
+	// admission-control regime, where requests are dropped or delayed.
+	OverloadSecs    float64 `json:"overload_secs"`
+	AdmissionEvents int64   `json:"admission_events"`
+
+	// Cost vs the fault-free baseline (same seed, no injector).
+	CostUSD              float64 `json:"cost_usd"`
+	BaselineCostUSD      float64 `json:"baseline_cost_usd"`
+	CostDeltaPct         float64 `json:"cost_delta_pct"`
+	BaselineViolationPct float64 `json:"baseline_violation_pct"`
+
+	// Score is the composite resilience score in [0, 100]; see Finalize.
+	Score float64 `json:"score"`
+}
+
+// Finalize derives the composite score and rounds every float to six
+// decimals so encodings stay stable across toolchains. The score blends the
+// three axes the paper's evaluation plots: SLO attainment (weight 0.5),
+// request survival (0.25) and cost containment vs the fault-free baseline
+// (0.25, losing a point per percent of cost inflation).
+func (r *Report) Finalize() {
+	attain := clamp(r.SLOAttainmentPct, 0, 100)
+	survival := clamp(100*(1-r.DropFraction), 0, 100)
+	cost := clamp(100-math.Max(0, r.CostDeltaPct), 0, 100)
+	r.Score = 0.5*attain + 0.25*survival + 0.25*cost
+
+	for _, f := range []*float64{
+		&r.SLOAttainmentPct, &r.ViolationPct, &r.DropFraction, &r.DroppedReqs,
+		&r.MeanLatencySec, &r.OverloadSecs, &r.CostUSD, &r.BaselineCostUSD,
+		&r.CostDeltaPct, &r.BaselineViolationPct, &r.Score,
+	} {
+		*f = round6(*f)
+	}
+}
+
+// EncodeJSON returns the indented, deterministic JSON encoding (struct field
+// order plus encoding/json's sorted map keys).
+func (r *Report) EncodeJSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+func round6(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return math.Round(x*1e6) / 1e6
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

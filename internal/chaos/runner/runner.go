@@ -1,0 +1,202 @@
+// Package runner executes chaos scenarios end to end: it compiles a scenario
+// into an injector, drives the discrete-event simulator (with the SpotWeb
+// planner in the loop) through the fault timeline, re-runs the identical
+// configuration fault-free as a baseline, and distills both runs plus the
+// event journal into a resilience Report. The simulator path is fully
+// deterministic: the same (scenario, seed, quick) triple yields a
+// byte-identical encoded report.
+package runner
+
+import (
+	"fmt"
+
+	"repro/internal/chaos"
+	"repro/internal/market"
+	"repro/internal/metrics"
+	"repro/internal/portfolio"
+	"repro/internal/predict"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// SimOptions configures one simulated scenario run.
+type SimOptions struct {
+	// Scenario is the fault plan (required).
+	Scenario *chaos.Scenario
+	// Seed drives scenario compilation, the market catalog and the
+	// simulator's natural revocation sampling.
+	Seed int64
+	// Quick shrinks the run (36 intervals instead of 96) for CI smoke use.
+	Quick bool
+}
+
+// simWorkload builds the standard chaos workload: low utilization through
+// the first third of the run, a linear climb, then sustained high load from
+// 60% onward — the shape the built-in scenario timings assume (an early
+// storm lands in headroom, late storms land under pressure). Closed-form and
+// seedless, so it never perturbs determinism.
+func simWorkload(n int, cat *market.Catalog) *trace.Series {
+	var meanCap float64
+	transients := 0
+	for _, m := range cat.Markets {
+		if m.Transient {
+			meanCap += m.Type.Capacity
+			transients++
+		}
+	}
+	if transients > 0 {
+		meanCap /= float64(transients)
+	}
+	// High load sized for a ~9-server fleet at healthy utilization; low load
+	// is a third of that.
+	high := 9 * meanCap * 0.8
+	low := high / 3
+	vals := make([]float64, n)
+	for i := range vals {
+		x := float64(i) / float64(n-1)
+		switch {
+		case x < 1.0/3:
+			vals[i] = low
+		case x < 0.6:
+			vals[i] = low + (high-low)*(x-1.0/3)/(0.6-1.0/3)
+		default:
+			vals[i] = high
+		}
+	}
+	return &trace.Series{Name: "chaos-ramp", StepHrs: cat.StepHrs, Values: vals}
+}
+
+// spikedCatalog returns a copy of the catalog with price-spike faults applied
+// to the price series — a pre-transform, so the planner sees the spike (and
+// re-plans around it) and billing charges it, rather than a hidden surcharge.
+func spikedCatalog(cat *market.Catalog, in *chaos.Injector) *market.Catalog {
+	if in == nil {
+		return cat
+	}
+	out := &market.Catalog{StepHrs: cat.StepHrs, Intervals: cat.Intervals}
+	n := cat.Intervals
+	for i, m := range cat.Markets {
+		mm := *m
+		vals := make([]float64, len(m.Price.Values))
+		copy(vals, m.Price.Values)
+		for t := range vals {
+			// Interval t maps to the same normalized time the simulator
+			// uses: the run starts at interval 1.
+			x := float64(t-1) / float64(n-1)
+			if f := in.PriceFactor(x, i); f != 1 {
+				vals[t] *= f
+			}
+		}
+		price := *m.Price
+		price.Values = vals
+		mm.Price = &price
+		out.Markets = append(out.Markets, &mm)
+	}
+	return out
+}
+
+// plannerPolicy adapts the portfolio planner to sim.Policy.
+type plannerPolicy struct{ planner *portfolio.Planner }
+
+func (plannerPolicy) Name() string { return "spotweb" }
+
+func (p plannerPolicy) Decide(t int, observed float64) ([]int, error) {
+	dec, err := p.planner.Step(t, observed)
+	if err != nil {
+		return nil, err
+	}
+	return dec.Counts, nil
+}
+
+// runOnce executes one simulation over the catalog with an optional injector
+// and journal.
+func runOnce(cat *market.Catalog, wl *trace.Series, seed int64, in *chaos.Injector, j *metrics.Journal) (*sim.Result, error) {
+	cfg := portfolio.Config{
+		// Cap any single market at 40% of the allocation so the portfolio
+		// spreads over several markets — a Count=1 storm then removes a
+		// slice of capacity, not the whole fleet.
+		AMaxPerMarket: 0.4,
+	}.WithDefaults()
+	wp := predict.NewSplinePredictor(predict.SplineConfig{
+		StepHrs: cat.StepHrs, ARLag1: true, CIProb: 0.99,
+	}, cfg.Horizon)
+	planner := portfolio.NewPlanner(cfg, cat, wp, portfolio.MeanRevertSource{Cat: cat})
+	s := &sim.Simulator{
+		Cfg: sim.Config{
+			Seed:            seed,
+			TransiencyAware: true,
+			Chaos:           in,
+			Journal:         j,
+		},
+		Cat:      cat,
+		Workload: wl,
+		Policy:   plannerPolicy{planner: planner},
+	}
+	return s.Run()
+}
+
+// RunSim executes a scenario on the simulator and returns its resilience
+// report (finalized, ready to encode).
+func RunSim(opt SimOptions) (*chaos.Report, error) {
+	if opt.Scenario == nil {
+		return nil, fmt.Errorf("runner: Scenario is required")
+	}
+	hours := 96
+	if opt.Quick {
+		hours = 36
+	}
+	cat := market.CatalogConfig{
+		Seed:            opt.Seed,
+		NumTypes:        3,
+		IncludeOnDemand: true,
+		Hours:           hours,
+		SamplesPerHour:  1,
+		Groups:          2,
+		BaseFailProb:    0.02,
+	}.Generate()
+	in, err := chaos.Compile(opt.Scenario, opt.Seed, cat.Len())
+	if err != nil {
+		return nil, err
+	}
+	wl := simWorkload(hours, cat)
+
+	j := metrics.NewJournal(8192)
+	res, err := runOnce(spikedCatalog(cat, in), wl, opt.Seed, in, j)
+	if err != nil {
+		return nil, fmt.Errorf("runner: chaos run: %w", err)
+	}
+	base, err := runOnce(cat, wl, opt.Seed, nil, nil)
+	if err != nil {
+		return nil, fmt.Errorf("runner: baseline run: %w", err)
+	}
+
+	rep := &chaos.Report{
+		Scenario:             opt.Scenario.Name,
+		Seed:                 opt.Seed,
+		Policy:               res.Policy,
+		Intervals:            hours,
+		Markets:              cat.Len(),
+		InjectedRevocations:  res.InjectedRevocations,
+		NaturalRevocations:   res.Revocations - res.InjectedRevocations,
+		Actions:              make(map[string]int64, len(res.Actions)),
+		EventCounts:          j.Counts(),
+		SLOAttainmentPct:     100 - res.ViolationPct,
+		ViolationPct:         res.ViolationPct,
+		DropFraction:         res.DropFraction(),
+		DroppedReqs:          res.Dropped,
+		MeanLatencySec:       res.MeanLatency,
+		OverloadSecs:         res.OverloadSecs,
+		AdmissionEvents:      int64(res.AdmissionEvents),
+		CostUSD:              res.TotalCost,
+		BaselineCostUSD:      base.TotalCost,
+		BaselineViolationPct: base.ViolationPct,
+	}
+	for k, v := range res.Actions {
+		rep.Actions[k] = int64(v)
+	}
+	if base.TotalCost > 0 {
+		rep.CostDeltaPct = 100 * (res.TotalCost - base.TotalCost) / base.TotalCost
+	}
+	rep.Finalize()
+	return rep, nil
+}

@@ -1,0 +1,213 @@
+// Package chaos is SpotWeb's deterministic fault-injection subsystem. A
+// declarative Scenario (a Go struct with a JSON file format) is compiled,
+// together with a seed, into a fixed timeline of injected faults —
+// correlated multi-market revocation storms, shortened or lost revocation
+// warnings, backend slowdown and flapping, price spikes that invalidate the
+// current plan, and replacement-start-delay jitter. The compiled Injector is
+// consulted by the simulator (event clock), the testbed driver (wall clock)
+// and the load balancer; a nil *Injector is a zero-cost no-op, mirroring the
+// internal/metrics pattern, so production paths carry one predictable branch
+// when chaos is off.
+//
+// Determinism contract: Compile(scenario, seed, markets) is a pure function
+// — the same inputs always yield the same timeline, and every runtime query
+// is read-only — so identical (seed, scenario) pairs reproduce bit-identical
+// simulator runs and resilience reports.
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// FaultKind names one fault family.
+type FaultKind string
+
+const (
+	// KindStorm fires a correlated multi-market revocation at one instant.
+	// Victims come from Markets (explicit), Count (the Count most-populated
+	// live transient markets at fire time), or — with Prob set — a Gaussian
+	// copula draw over the scenario's Correlation matrix.
+	KindStorm FaultKind = "revocation_storm"
+	// KindWarningDelay shortens the revocation warning inside its window:
+	// warnings fire late, leaving Severity × the normal period (0 < Severity
+	// < 1) to react.
+	KindWarningDelay FaultKind = "warning_delay"
+	// KindWarningLoss drops the revocation warning entirely inside its
+	// window: servers terminate with zero notice.
+	KindWarningLoss FaultKind = "warning_loss"
+	// KindSlowdown degrades serving capacity to Severity × normal (0 <
+	// Severity ≤ 1) inside its window.
+	KindSlowdown FaultKind = "slowdown"
+	// KindFlap alternates between full and Severity × capacity with the
+	// given Period inside its window (a flapping backend/network).
+	KindFlap FaultKind = "flap"
+	// KindPriceSpike multiplies market prices by Severity (≥ 1) inside its
+	// window, invalidating the cost assumptions behind the current plan.
+	// Markets selects the affected markets (empty = all transient).
+	KindPriceSpike FaultKind = "price_spike"
+	// KindStartJitter inflates replacement/launch start delays inside its
+	// window by a factor sampled once per window from
+	// [1 + Severity/2, 1 + 3·Severity/2] under the compile seed.
+	KindStartJitter FaultKind = "start_delay_jitter"
+	// KindForceAction overrides the LB's revocation decision inside its
+	// window: Severity is the forced lb.RevocationAction code (0 =
+	// redistribute, 1 = reprovision, 2 = admission control).
+	KindForceAction FaultKind = "force_action"
+)
+
+// FaultSpec declares one fault. Times are fractions of the run in [0, 1), so
+// the same scenario replays on the simulator's event clock and the testbed's
+// wall clock.
+type FaultSpec struct {
+	Kind FaultKind `json:"kind"`
+	// Start is the onset as a fraction of the run.
+	Start float64 `json:"start"`
+	// Duration is the window length for windowed faults (fraction of run).
+	Duration float64 `json:"duration,omitempty"`
+	// Markets targets explicit catalog market indices.
+	Markets []int `json:"markets,omitempty"`
+	// Count targets the Count most-populated live transient markets at fire
+	// time (storms only; resolved by the execution layer).
+	Count int `json:"count,omitempty"`
+	// Severity is the kind-specific magnitude (see the FaultKind docs).
+	Severity float64 `json:"severity,omitempty"`
+	// WarnScale is the fraction of the normal warning period retained by the
+	// revocations this storm fires (nil = 1, 0 = no warning).
+	WarnScale *float64 `json:"warn_scale,omitempty"`
+	// Period is the flap on/off period (fraction of run).
+	Period float64 `json:"period,omitempty"`
+	// Prob is the per-market marginal revocation probability for
+	// copula-sampled storms.
+	Prob float64 `json:"prob,omitempty"`
+}
+
+// Scenario is one declarative fault plan.
+type Scenario struct {
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+	// Correlation is the market-correlation matrix used by copula-sampled
+	// storms: entry [i][j] ∈ [0, 1] couples the latent revocation shocks of
+	// markets i and j (diagonal is forced to 1). Optional; identity when
+	// absent.
+	Correlation [][]float64 `json:"correlation,omitempty"`
+	Faults      []FaultSpec `json:"faults"`
+}
+
+// Validate checks the scenario for internal consistency.
+func (s *Scenario) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("chaos: scenario needs a name")
+	}
+	if len(s.Faults) == 0 {
+		return fmt.Errorf("chaos: scenario %q has no faults", s.Name)
+	}
+	for i := range s.Correlation {
+		if len(s.Correlation[i]) != len(s.Correlation) {
+			return fmt.Errorf("chaos: scenario %q correlation matrix is not square", s.Name)
+		}
+		for j, v := range s.Correlation[i] {
+			if v < -1e-9 || v > 1+1e-9 {
+				return fmt.Errorf("chaos: scenario %q correlation[%d][%d]=%g outside [0,1]", s.Name, i, j, v)
+			}
+		}
+	}
+	for i, f := range s.Faults {
+		where := fmt.Sprintf("chaos: scenario %q fault %d (%s)", s.Name, i, f.Kind)
+		if f.Start < 0 || f.Start >= 1 {
+			return fmt.Errorf("%s: start %g outside [0,1)", where, f.Start)
+		}
+		if f.Duration < 0 || f.Start+f.Duration > 1+1e-9 {
+			return fmt.Errorf("%s: window [%g,%g) outside the run", where, f.Start, f.Start+f.Duration)
+		}
+		switch f.Kind {
+		case KindStorm:
+			if len(f.Markets) == 0 && f.Count <= 0 && f.Prob <= 0 {
+				return fmt.Errorf("%s: needs markets, count or prob", where)
+			}
+			if f.Prob > 0 && len(s.Correlation) == 0 {
+				return fmt.Errorf("%s: copula sampling needs a correlation matrix", where)
+			}
+			if f.WarnScale != nil && (*f.WarnScale < 0 || *f.WarnScale > 1) {
+				return fmt.Errorf("%s: warn_scale %g outside [0,1]", where, *f.WarnScale)
+			}
+		case KindWarningDelay:
+			if f.Severity <= 0 || f.Severity >= 1 {
+				return fmt.Errorf("%s: severity %g outside (0,1)", where, f.Severity)
+			}
+			if f.Duration <= 0 {
+				return fmt.Errorf("%s: needs a duration", where)
+			}
+		case KindWarningLoss, KindForceAction:
+			if f.Duration <= 0 {
+				return fmt.Errorf("%s: needs a duration", where)
+			}
+			if f.Kind == KindForceAction && (f.Severity < 0 || f.Severity > 2) {
+				return fmt.Errorf("%s: severity %g is not an action code (0..2)", where, f.Severity)
+			}
+		case KindSlowdown:
+			if f.Severity <= 0 || f.Severity > 1 {
+				return fmt.Errorf("%s: severity %g outside (0,1]", where, f.Severity)
+			}
+			if f.Duration <= 0 {
+				return fmt.Errorf("%s: needs a duration", where)
+			}
+		case KindFlap:
+			if f.Severity < 0 || f.Severity >= 1 {
+				return fmt.Errorf("%s: severity %g outside [0,1)", where, f.Severity)
+			}
+			if f.Period <= 0 || f.Duration <= 0 {
+				return fmt.Errorf("%s: needs period and duration", where)
+			}
+		case KindPriceSpike:
+			if f.Severity < 1 {
+				return fmt.Errorf("%s: severity %g below 1", where, f.Severity)
+			}
+			if f.Duration <= 0 {
+				return fmt.Errorf("%s: needs a duration", where)
+			}
+		case KindStartJitter:
+			if f.Severity <= 0 {
+				return fmt.Errorf("%s: severity %g not positive", where, f.Severity)
+			}
+			if f.Duration <= 0 {
+				return fmt.Errorf("%s: needs a duration", where)
+			}
+		default:
+			return fmt.Errorf("%s: unknown fault kind", where)
+		}
+	}
+	return nil
+}
+
+// LoadScenario reads and validates a JSON scenario file.
+func LoadScenario(path string) (*Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: %w", err)
+	}
+	var s Scenario
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("chaos: parse %s: %w", path, err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Resolve loads a scenario from a JSON file when the argument names one, and
+// falls back to the built-in scenario of that name otherwise — the lookup
+// rule behind the daemons' -chaos-scenario flag.
+func Resolve(nameOrPath string) (*Scenario, error) {
+	if _, err := os.Stat(nameOrPath); err == nil {
+		return LoadScenario(nameOrPath)
+	}
+	return Builtin(nameOrPath)
+}
+
+// MarshalJSON-ready helper: EncodeJSON returns the scenario as indented JSON.
+func (s *Scenario) EncodeJSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}

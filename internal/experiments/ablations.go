@@ -49,7 +49,7 @@ func AblationChurn(w io.Writer, opt Options) ChurnAblationResult {
 		predict.Pretrain(wlPred, full, trainN)
 		pol := autoscale.NewSpotWeb(portfolio.Config{Horizon: 4, ChurnKappa: kappa},
 			cat, wlPred, portfolio.MeanRevertSource{Cat: cat})
-		r := mustRun(cat, wl, pol, opt.seed(), true)
+		r := mustRun(cat, wl, pol, opt, true)
 		res.Costs = append(res.Costs, CostWithPenalty(r, 0.02))
 		res.Launches = append(res.Launches, r.Launches)
 	}
@@ -91,7 +91,7 @@ func AblationPadding(w io.Writer, opt Options) PaddingAblationResult {
 		predict.Pretrain(wlPred, full, trainN)
 		pol := autoscale.NewSpotWeb(portfolio.Config{Horizon: 4, ChurnKappa: 1.0},
 			cat, wlPred, portfolio.MeanRevertSource{Cat: cat})
-		r := mustRun(cat, wl, pol, opt.seed(), true)
+		r := mustRun(cat, wl, pol, opt, true)
 		res.Costs = append(res.Costs, CostWithPenalty(r, 0.02))
 		res.ViolationPct = append(res.ViolationPct, r.ViolationPct)
 	}
@@ -284,7 +284,8 @@ func DiscussionStartupDelay(w io.Writer, opt Options) StartupDelayResult {
 			// 25-minute VM start-up > 15-minute decisions (§7's "start-up
 			// time longer than the period between two predictions").
 			Cfg: sim.Config{Seed: opt.seed(), TransiencyAware: true,
-				StartDelaySec: 1500, WarmupSec: 120},
+				StartDelaySec: 1500, WarmupSec: 120,
+				HighUtil: opt.HighUtil, WarningSec: opt.WarningSec},
 			Cat: cat, Workload: wl, Policy: pol,
 		}
 		r, err := s.Run()
@@ -327,7 +328,8 @@ func DiscussionGoogleCloud(w io.Writer, opt Options) GoogleCloudResult {
 	run := func(pol sim.Policy) *sim.Result {
 		s := &sim.Simulator{
 			Cfg: sim.Config{Seed: opt.seed(), TransiencyAware: true,
-				MaxLifetimeHrs: 24},
+				MaxLifetimeHrs: 24,
+				HighUtil:       opt.HighUtil, WarningSec: opt.WarningSec},
 			Cat: cat, Workload: wl, Policy: pol,
 		}
 		r, err := s.Run()

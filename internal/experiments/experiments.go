@@ -23,6 +23,12 @@ type Options struct {
 	// semantics: 0/1 serial, n > 1 bounded, negative all cores). Results are
 	// bit-identical at any setting; only the solve times change.
 	Parallelism int
+	// HighUtil overrides the utilization threshold of the §6.1 revocation
+	// decision (0 keeps the paper's 0.85).
+	HighUtil float64
+	// WarningSec overrides the revocation warning period (0 keeps the
+	// paper's 120 s).
+	WarningSec float64
 }
 
 func (o Options) seed() int64 {

@@ -75,13 +75,13 @@ func Fig5(w io.Writer, opt Options) Fig5Result {
 	if err != nil {
 		panic(err)
 	}
-	constRes := mustRun(cat, wl, constPol, opt.seed(), true)
+	constRes := mustRun(cat, wl, constPol, opt, true)
 
 	// Fig 5(d): SpotWeb MPO with oracle workload and oracle prices (the
 	// paper's oracle-predictor setting for this experiment).
 	swPol := autoscale.NewSpotWeb(portfolio.Config{Horizon: 4, ChurnKappa: 0.05},
 		cat, &predict.Oracle{Values: wl.Values}, portfolio.OracleSource{Cat: cat})
-	swRes := mustRun(cat, wl, swPol, opt.seed(), true)
+	swRes := mustRun(cat, wl, swPol, opt, true)
 
 	for _, im := range constRes.Intervals {
 		res.ConstCounts = append(res.ConstCounts, im.Counts)
@@ -149,9 +149,10 @@ func printAllocSeries(w io.Writer, title string, names []string, counts [][]int)
 	}
 }
 
-func mustRun(cat *market.Catalog, wl *trace.Series, pol sim.Policy, seed int64, aware bool) *sim.Result {
+func mustRun(cat *market.Catalog, wl *trace.Series, pol sim.Policy, opt Options, aware bool) *sim.Result {
 	s := &sim.Simulator{
-		Cfg:      sim.Config{Seed: seed, TransiencyAware: aware},
+		Cfg: sim.Config{Seed: opt.seed(), TransiencyAware: aware,
+			HighUtil: opt.HighUtil, WarningSec: opt.WarningSec},
 		Cat:      cat,
 		Workload: wl,
 		Policy:   pol,
@@ -184,7 +185,7 @@ func Fig6a(w io.Writer, opt Options) Fig6aResult {
 	if err != nil {
 		panic(err)
 	}
-	constRes := mustRun(cat, wl, constPol, opt.seed(), true)
+	constRes := mustRun(cat, wl, constPol, opt, true)
 
 	res := Fig6aResult{
 		// §6.3: oracle predictor ⇒ rental cost only, no SLO costs.
@@ -195,7 +196,7 @@ func Fig6a(w io.Writer, opt Options) Fig6aResult {
 	for _, h := range []int{2, 4} {
 		pol := autoscale.NewSpotWeb(portfolio.Config{Horizon: h, ChurnKappa: 0.05},
 			cat, &predict.Oracle{Values: wl.Values}, portfolio.OracleSource{Cat: cat})
-		r := mustRun(cat, wl, pol, opt.seed(), true)
+		r := mustRun(cat, wl, pol, opt, true)
 		res.SpotWeb[h] = r.TotalCost
 		res.SavingsPct[h] = 100 * Savings(res.SpotWeb[h], res.ConstCost)
 	}
@@ -260,7 +261,7 @@ func Fig6b(w io.Writer, opt Options, workload string) Fig6bResult {
 			Seed: opt.seed() + int64(nm), NumTypes: nm,
 			Hours: days * 24, SamplesPerHour: perHour,
 		}.Generate()
-		exo := mustRun(cat, wl, autoscale.NewExoSphereLoop(cat, 5), opt.seed(), true)
+		exo := mustRun(cat, wl, autoscale.NewExoSphereLoop(cat, 5), opt, true)
 		exoCost := CostWithPenalty(exo, 0.02)
 		res.ExoCost = append(res.ExoCost, exoCost)
 		var row []float64
@@ -271,7 +272,7 @@ func Fig6b(w io.Writer, opt Options, workload string) Fig6bResult {
 			pol := autoscale.NewSpotWeb(
 				portfolio.Config{Horizon: h, ChurnKappa: 1.0},
 				cat, wlPred, portfolio.MeanRevertSource{Cat: cat})
-			r := mustRun(cat, wl, pol, opt.seed(), true)
+			r := mustRun(cat, wl, pol, opt, true)
 			row = append(row, 100*Savings(CostWithPenalty(r, 0.02), exoCost))
 		}
 		res.SavingsPct = append(res.SavingsPct, row)

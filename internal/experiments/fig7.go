@@ -53,7 +53,7 @@ func Fig7a(w io.Writer, opt Options) Fig7aResult {
 	// part of the system); only the underlying forecast quality varies.
 	reactive := autoscale.NewSpotWeb(portfolio.Config{Horizon: 4, ChurnKappa: 0.05},
 		cat, predict.NewPadded(&predict.Reactive{}, 0.99, 4), portfolio.ReactiveSource{Cat: cat})
-	rres := mustRun(cat, wl, reactive, opt.seed(), true)
+	rres := mustRun(cat, wl, reactive, opt, true)
 	res := Fig7aResult{ReactiveCost: CostWithPenalty(rres, 0.02)}
 
 	for _, e := range errs {
@@ -62,7 +62,7 @@ func Fig7a(w io.Writer, opt Options) Fig7aResult {
 			predict.NewPadded(&predict.NoisyOracle{
 				Oracle: predict.Oracle{Values: wl.Values}, RelError: e}, 0.99, 4),
 			portfolio.NoisySource{Base: portfolio.OracleSource{Cat: cat}, RelError: e, Seed: uint64(opt.seed())})
-		r := mustRun(cat, wl, pol, opt.seed(), true)
+		r := mustRun(cat, wl, pol, opt, true)
 		res.RelErrors = append(res.RelErrors, e)
 		res.SavingsPct = append(res.SavingsPct, 100*Savings(CostWithPenalty(r, 0.02), res.ReactiveCost))
 	}

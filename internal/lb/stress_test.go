@@ -1,0 +1,127 @@
+package lb
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestDecideRevocationBoundaries pins the decision procedure's edge cases:
+// utilization exactly at the threshold still redistributes (the survivors can
+// — just barely — absorb the load), a start delay exactly equal to the
+// warning cannot reprovision in time, and a zero-length warning always means
+// admission control.
+func TestDecideRevocationBoundaries(t *testing.T) {
+	cases := []struct {
+		name                                string
+		util, highUtil, startDelay, warning float64
+		want                                RevocationAction
+	}{
+		{"util exactly at threshold", 0.85, 0.85, 55, 120, ActionRedistribute},
+		{"just above threshold", 0.8500001, 0.85, 55, 120, ActionReprovision},
+		{"start delay equals warning", 0.9, 0.85, 120, 120, ActionAdmissionControl},
+		{"start delay just under warning", 0.9, 0.85, 119.999, 120, ActionReprovision},
+		{"zero warning", 0.9, 0.85, 55, 0, ActionAdmissionControl},
+		{"zero warning and zero delay", 0.9, 0.85, 0, 0, ActionAdmissionControl},
+	}
+	for _, tc := range cases {
+		if got := DecideRevocation(tc.util, tc.highUtil, tc.startDelay, tc.warning); got != tc.want {
+			t.Errorf("%s: DecideRevocation(%g,%g,%g,%g) = %v, want %v",
+				tc.name, tc.util, tc.highUtil, tc.startDelay, tc.warning, got, tc.want)
+		}
+	}
+}
+
+// TestConcurrentRevocationsNeverStrandSessions revokes two overlapping
+// backend sets concurrently — with live routing traffic binding new sessions
+// throughout — and asserts no session ends up mapped to a backend that has
+// completed its drain. Before migrations were serialized with drain
+// completion (migMu) and Route re-checked routability after binding, a
+// migration off one backend could re-home sessions onto a member of the
+// other set between that member's final sweep and its WRR removal.
+func TestConcurrentRevocationsNeverStrandSessions(t *testing.T) {
+	const rounds = 40
+	for round := 0; round < rounds; round++ {
+		b := NewBalancer()
+		for id := 0; id < 10; id++ {
+			b.WRR.SetWeight(id, 1)
+		}
+		// Pre-bind sessions across every backend so each revoked backend has
+		// load to migrate.
+		for i := 0; i < 200; i++ {
+			b.Sessions.Assign(fmt.Sprintf("pre-%d", i), i%10)
+		}
+
+		setA := []int{0, 1, 2, 3}
+		setB := []int{2, 3, 4, 5}
+
+		var wg sync.WaitGroup
+		revoke := func(set []int) {
+			defer wg.Done()
+			for _, id := range set {
+				// Low utilization → redistribute (immediate hard drain + migration).
+				b.HandleWarning(id, 0.4, 55, 120)
+			}
+			for _, id := range set {
+				b.CompleteDrain(id)
+			}
+		}
+		wg.Add(2)
+		go revoke(setA)
+		go revoke(setB)
+
+		// Live traffic binding new sessions during the revocations.
+		wg.Add(2)
+		for g := 0; g < 2; g++ {
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < 100; i++ {
+					b.Route(fmt.Sprintf("live-%d-%d-%d", round, g, i))
+				}
+			}(g)
+		}
+		wg.Wait()
+
+		revoked := map[int]bool{0: true, 1: true, 2: true, 3: true, 4: true, 5: true}
+		for id := range revoked {
+			if n := b.Sessions.CountOn(id); n != 0 {
+				t.Fatalf("round %d: %d session(s) stranded on terminated backend %d", round, n, id)
+			}
+			if b.WRR.Has(id) {
+				t.Fatalf("round %d: terminated backend %d still in rotation", round, id)
+			}
+		}
+		// Survivors must carry all the pre-bound sessions.
+		total := 0
+		for id := 6; id < 10; id++ {
+			total += b.Sessions.CountOn(id)
+		}
+		if total < 200 {
+			t.Fatalf("round %d: only %d of 200 pre-bound sessions survive on live backends", round, total)
+		}
+	}
+}
+
+// TestActionOverrideForcesDecision exercises the chaos hook: a forced
+// admission-control action must take the soft-drain path even at low
+// utilization, and an ok=false override must leave the normal decision alone.
+func TestActionOverrideForcesDecision(t *testing.T) {
+	b := NewBalancer()
+	for id := 0; id < 3; id++ {
+		b.WRR.SetWeight(id, 1)
+	}
+	b.ActionOverride = func() (RevocationAction, bool) { return ActionAdmissionControl, true }
+	action, _ := b.HandleWarning(0, 0.2, 55, 120)
+	if action != ActionAdmissionControl {
+		t.Fatalf("forced action = %v", action)
+	}
+	if !b.Draining(0) {
+		t.Fatal("backend 0 should be draining")
+	}
+
+	b.ActionOverride = func() (RevocationAction, bool) { return ActionAdmissionControl, false }
+	action, _ = b.HandleWarning(1, 0.2, 55, 120)
+	if action != ActionRedistribute {
+		t.Fatalf("ok=false override changed the decision: %v", action)
+	}
+}

@@ -138,6 +138,16 @@ type Balancer struct {
 	// action chosen, sessions migrated, drain completed). A nil journal
 	// costs nothing on these paths.
 	Journal *metrics.Journal
+	// ActionOverride, when set, can force the outcome of HandleWarning's
+	// revocation decision (the chaos fault-injection hook): return ok =
+	// false to keep the normal decision.
+	ActionOverride func() (RevocationAction, bool)
+
+	// migMu serializes session migrations with drain completion: a
+	// migration's target snapshot must not interleave with another backend's
+	// final drain, or a session can be re-homed onto a backend that has
+	// already terminated (see TestConcurrentRevocationsNeverStrandSessions).
+	migMu sync.Mutex
 
 	mu sync.Mutex
 	// draining backends are fully out of rotation (survivors have
@@ -184,47 +194,59 @@ func (b *Balancer) UpdatePortfolio(weights map[int]float64) {
 // are never assigned new sessions. ok is false when the request must be
 // dropped.
 func (b *Balancer) Route(session string) (backend int, ok bool) {
-	b.mu.Lock()
-	hard := make(map[int]bool, len(b.draining))
-	for k := range b.draining {
-		hard[k] = true
-	}
-	full := make(map[int]bool, len(b.draining)+len(b.soft))
-	for k := range b.draining {
-		full[k] = true
-	}
-	for k := range b.soft {
-		full[k] = true
-	}
-	b.mu.Unlock()
+	for attempt := 0; attempt < 4; attempt++ {
+		b.mu.Lock()
+		hard := make(map[int]bool, len(b.draining))
+		for k := range b.draining {
+			hard[k] = true
+		}
+		full := make(map[int]bool, len(b.draining)+len(b.soft))
+		for k := range b.draining {
+			full[k] = true
+		}
+		for k := range b.soft {
+			full[k] = true
+		}
+		b.mu.Unlock()
 
-	if session != "" {
-		if cur, found := b.Sessions.Lookup(session); found {
-			// Existing sessions stay put unless the backend is hard-drained
-			// (vanilla mode keeps using even revoked backends).
-			if b.Vanilla || !hard[cur] {
-				return cur, true
+		if session != "" {
+			if cur, found := b.Sessions.Lookup(session); found {
+				// Existing sessions stay put unless the backend is
+				// hard-drained or already out of rotation (vanilla mode keeps
+				// using even revoked backends).
+				if b.Vanilla || (!hard[cur] && b.WRR.Has(cur)) {
+					return cur, true
+				}
 			}
 		}
-	}
-	var id int
-	var found bool
-	switch {
-	case b.Vanilla:
-		id, found = b.WRR.Next()
-	case session != "":
-		// New session bindings avoid both hard- and soft-draining backends.
-		id, found = b.WRR.NextExcluding(full)
-	default:
-		id, found = b.WRR.NextExcluding(hard)
-	}
-	if !found {
-		return 0, false
-	}
-	if session != "" {
+		var id int
+		var found bool
+		switch {
+		case b.Vanilla:
+			id, found = b.WRR.Next()
+		case session != "":
+			// New session bindings avoid both hard- and soft-draining backends.
+			id, found = b.WRR.NextExcluding(full)
+		default:
+			id, found = b.WRR.NextExcluding(hard)
+		}
+		if !found {
+			return 0, false
+		}
+		if session == "" {
+			return id, true
+		}
 		b.Sessions.Assign(session, id)
+		if b.Vanilla || b.WRR.Has(id) {
+			return id, true
+		}
+		// The backend completed its drain between our snapshot and the
+		// assignment, so its final session sweep may already have run:
+		// unbind and pick again rather than strand the session on a
+		// terminated server.
+		b.Sessions.End(session)
 	}
-	return id, true
+	return 0, false
 }
 
 // HandleWarning processes a revocation warning for a backend: decides the
@@ -237,6 +259,11 @@ func (b *Balancer) HandleWarning(backend int, utilization, startDelay, warning f
 		return ActionAdmissionControl, 0
 	}
 	action := DecideRevocation(utilization, b.HighUtil, startDelay, warning)
+	if b.ActionOverride != nil {
+		if forced, ok := b.ActionOverride(); ok {
+			action = forced
+		}
+	}
 	b.mu.Lock()
 	if action == ActionRedistribute {
 		// Survivors can absorb the load: pull the backend out entirely.
@@ -264,6 +291,17 @@ func (b *Balancer) HandleWarning(backend int, utilization, startDelay, warning f
 // sessions per unit of weight, so survivors that already carry sessions are
 // not overloaded by the influx. Returns the number migrated.
 func (b *Balancer) MigrateOff(backend int) int {
+	b.migMu.Lock()
+	defer b.migMu.Unlock()
+	return b.migrateOffSerialized(backend)
+}
+
+// migrateOffSerialized is MigrateOff's body; callers hold migMu, so the
+// target snapshot below cannot race a concurrent CompleteDrain — a backend
+// either still carries weight (and its own pending drain will sweep any
+// session we re-home onto it) or has been removed from the WRR (and is
+// never chosen as a target).
+func (b *Balancer) migrateOffSerialized(backend int) int {
 	b.mu.Lock()
 	exclude := make(map[int]bool, len(b.draining)+len(b.soft))
 	for k := range b.draining {
@@ -310,14 +348,25 @@ func (b *Balancer) MigrateOff(backend int) int {
 
 // CompleteDrain migrates any sessions still bound to a drained backend (the
 // paper's seamless switch-over happens within the warning period, before the
-// server terminates) and removes it from rotation.
+// server terminates) and removes it from rotation. The final migration and
+// the WRR removal happen atomically with respect to other migrations (under
+// migMu): without that, a concurrent MigrateOff of an overlapping backend
+// set can re-home a session onto this backend between its last sweep and
+// its removal, stranding the session on a terminated server.
 func (b *Balancer) CompleteDrain(backend int) {
-	b.MigrateOff(backend)
+	b.migMu.Lock()
+	// Remove from rotation BEFORE the final sweep: once the backend is out
+	// of the WRR, no serialized migration can target it, and any Route that
+	// had already picked it re-checks routability after binding — so every
+	// session bound to it is either caught by the sweep below or rebound by
+	// Route itself.
 	b.WRR.Remove(backend)
+	b.migrateOffSerialized(backend)
 	b.mu.Lock()
 	delete(b.draining, backend)
 	delete(b.soft, backend)
 	b.mu.Unlock()
+	b.migMu.Unlock()
 	b.Journal.Record(metrics.EvDrainComplete, backend, -1, "")
 }
 

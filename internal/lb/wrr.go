@@ -110,6 +110,20 @@ func (w *SmoothWRR) NextExcluding(exclude map[int]bool) (id int, ok bool) {
 	return best.id, true
 }
 
+// Has reports whether a backend is still registered (removal marks the end
+// of its drain lifecycle, so Has doubles as the routability check closing
+// the assign/drain race in Balancer.Route).
+func (w *SmoothWRR) Has(id int) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, e := range w.entries {
+		if e.id == id {
+			return true
+		}
+	}
+	return false
+}
+
 // Weights returns a copy of the current backend weights.
 func (w *SmoothWRR) Weights() map[int]float64 {
 	w.mu.Lock()

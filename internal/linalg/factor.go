@@ -54,6 +54,28 @@ func Cholesky(a *Matrix) (*CholeskyFactor, error) {
 	return &CholeskyFactor{n: n, l: l}, nil
 }
 
+// Dim returns the dimension of the factored matrix.
+func (c *CholeskyFactor) Dim() int { return c.n }
+
+// MulL multiplies the lower-triangular factor by a vector, returning L·x —
+// the transform that turns i.i.d. standard normals into correlated Gaussian
+// draws (x ~ N(0, I) ⇒ L·x ~ N(0, A)).
+func (c *CholeskyFactor) MulL(x Vector) Vector {
+	if len(x) != c.n {
+		panic("linalg: Cholesky MulL dimension mismatch")
+	}
+	out := NewVector(c.n)
+	for i := 0; i < c.n; i++ {
+		row := c.l.Data[i*c.n : i*c.n+i+1]
+		var s float64
+		for k, v := range row {
+			s += v * x[k]
+		}
+		out[i] = s
+	}
+	return out
+}
+
 // Solve solves A·x = b and writes the solution into dst (which may alias b).
 // It returns dst.
 func (c *CholeskyFactor) Solve(b, dst Vector) Vector {

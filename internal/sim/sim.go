@@ -10,10 +10,13 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
+	"repro/internal/chaos"
 	"repro/internal/cluster"
 	"repro/internal/lb"
 	"repro/internal/market"
+	"repro/internal/metrics"
 	"repro/internal/trace"
 )
 
@@ -57,6 +60,19 @@ type Config struct {
 	// hours with the standard warning (Google preemptible VMs are killed at
 	// 24 h, §7). Zero disables the limit.
 	MaxLifetimeHrs float64
+	// HighUtil is the utilization threshold of the revocation decision
+	// (§6.1): above it the surviving servers cannot absorb a revoked
+	// server's load and the LB must reprovision or admission-control.
+	HighUtil float64
+	// Chaos, when non-nil, injects faults at normalized run times: forced
+	// revocation storms, warning delay/loss, capacity slowdowns/flaps,
+	// start-delay jitter and forced LB actions. A nil injector is a no-op
+	// costing one branch per query.
+	Chaos *chaos.Injector
+	// Journal, when non-nil, records the revocation lifecycle (warnings,
+	// drain decisions, replacement launches, terminations and
+	// admission-control transitions) for resilience scoring. Nil is free.
+	Journal *metrics.Journal
 	// QueueDeadlineSec lets the admission controller *delay* rather than
 	// drop overload (§4.4: "dropping or delaying requests"): excess
 	// requests wait in a bounded FIFO and are served late (counted as SLO
@@ -91,6 +107,9 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.SubSteps <= 0 {
 		c.SubSteps = 60
+	}
+	if c.HighUtil <= 0 {
+		c.HighUtil = 0.85
 	}
 	if c.Latency.BaseServiceTime <= 0 {
 		c.Latency = cluster.DefaultLatencyModel()
@@ -128,10 +147,19 @@ type Result struct {
 	Dropped      float64
 	MeanLatency  float64 // served-weighted
 	ViolationPct float64 // offered-weighted SLO violation percentage
-	Revocations  int
-	Launches     int
-	Stops        int
-	Intervals    []IntervalMetrics
+	Revocations  int     // all revocation events (natural + injected)
+	// InjectedRevocations counts chaos-injected revocations (subset of
+	// Revocations).
+	InjectedRevocations int
+	// Actions tallies the LB's revocation decisions by name.
+	Actions map[string]int
+	// OverloadSecs is the total time offered load exceeded serving capacity
+	// (the admission-control regime); AdmissionEvents counts entries into it.
+	OverloadSecs    float64
+	AdmissionEvents int
+	Launches        int
+	Stops           int
+	Intervals       []IntervalMetrics
 }
 
 // DropFraction returns dropped / offered.
@@ -156,6 +184,10 @@ type revocation struct {
 	market  int
 	warnAt  float64 // hours
 	handled bool
+	// warnScale multiplies the warning period for this revocation (chaos
+	// storms can shorten or zero it); natural revocations use 1.
+	warnScale float64
+	injected  bool
 }
 
 // deadRouting models a transiency-unaware balancer still sending a fraction
@@ -184,13 +216,52 @@ func (s *Simulator) Run() (*Result, error) {
 		caps[i] = m.Type.Capacity
 	}
 
-	res := &Result{Policy: s.Policy.Name()}
+	res := &Result{Policy: s.Policy.Name(), Actions: make(map[string]int)}
 	var latWeighted, servedTotal, offeredTotal, violTotal float64
 	var dead []deadRouting
 	var backlog float64                  // queued (delayed) requests
 	billedUntil := make(map[int]float64) // server ID → hours paid through
+	inAdmission := false
 
 	n := s.Workload.Len()
+	// Chaos fault times are normalized fractions of the run: 0 is the start
+	// of the first simulated interval, 1 its end.
+	runStart := stepHrs
+	runLen := float64(n-1) * stepHrs
+	baseStartDelayHrs := cl.StartDelay
+	progress := func(now float64) float64 {
+		x := (now - runStart) / runLen
+		if x < 0 {
+			return 0
+		}
+		if x > 1 {
+			return 1
+		}
+		return x
+	}
+	// advance ticks the cluster and, when a journal is attached, records the
+	// servers reaped as terminated (in ID order, for determinism).
+	advance := func(now float64) {
+		if cfg.Journal == nil {
+			cl.Advance(now)
+			return
+		}
+		prev := make([]int, 0, len(cl.Servers()))
+		for _, srv := range cl.Servers() {
+			prev = append(prev, srv.ID)
+		}
+		cl.Advance(now)
+		live := make(map[int]bool, len(cl.Servers()))
+		for _, srv := range cl.Servers() {
+			live[srv.ID] = true
+		}
+		sort.Ints(prev)
+		for _, id := range prev {
+			if !live[id] {
+				cfg.Journal.Record(metrics.EvBackendTerminated, id, -1, "")
+			}
+		}
+	}
 	for t := 1; t < n; t++ {
 		tStart := float64(t) * stepHrs
 		tEnd := tStart + stepHrs
@@ -241,10 +312,26 @@ func (s *Simulator) Run() (*Result, error) {
 			// lower f-quantile.
 			if normCDF(z) < f {
 				revs = append(revs, &revocation{
-					market: i,
-					warnAt: tStart + stepHrs*(0.2+0.6*rng.Float64()),
+					market:    i,
+					warnAt:    tStart + stepHrs*(0.2+0.6*rng.Float64()),
+					warnScale: 1,
 				})
 				res.Revocations++
+			}
+		}
+
+		// Injected revocation storms scheduled for this interval.
+		for _, cr := range cfg.Chaos.Revocations(progress(tStart), progress(tEnd)) {
+			when := runStart + cr.T*runLen
+			for _, mkt := range s.stormVictims(cl, cr) {
+				revs = append(revs, &revocation{
+					market:    mkt,
+					warnAt:    when,
+					warnScale: cr.WarnScale,
+					injected:  true,
+				})
+				res.Revocations++
+				res.InjectedRevocations++
 			}
 		}
 
@@ -257,6 +344,10 @@ func (s *Simulator) Run() (*Result, error) {
 		warningHrs := cfg.WarningSec / secPerHr
 		for k := 0; k < cfg.SubSteps; k++ {
 			now := tStart + (float64(k)+0.5)*sub
+			x := progress(now)
+			// Replacement-start jitter: every launch from here on (scale-ups,
+			// reactive reprovisions) boots slower while the fault is active.
+			cl.StartDelay = baseStartDelayHrs * cfg.Chaos.StartDelayFactor(x)
 			// Enforce the provider's maximum instance lifetime (Google
 			// preemptible semantics): age out transient servers gracefully.
 			// The transiency-aware controller starts a same-market
@@ -287,21 +378,38 @@ func (s *Simulator) Run() (*Result, error) {
 					continue
 				}
 				rv.handled = true
+				// Warning-delay/loss faults scale the warning the control
+				// plane actually receives; storm-specific scales compound.
+				scale := rv.warnScale * cfg.Chaos.WarnScale(x)
+				effWarnHrs := warningHrs * scale
+				detail := "natural"
+				if rv.injected {
+					detail = "injected"
+				}
 				lost := 0.0
 				for _, srv := range cl.ServersInMarket(rv.market) {
 					lost += srv.EffectiveCapacity(now)
-					cl.RevokeWarning(srv.ID, rv.warnAt, warningHrs)
+					cl.RevokeWarning(srv.ID, rv.warnAt, effWarnHrs)
+					cfg.Journal.Record(metrics.EvWarning, srv.ID, rv.market, detail)
 				}
 				im.Revoked = append(im.Revoked, rv.market)
 				if cfg.TransiencyAware {
-					// The LB receives the warning: decide per §6.1.
-					remaining := cl.TotalCapacity(now) // draining still serves
+					// The LB receives the warning: decide per §6.1. Slowdown
+					// faults shrink the capacity the decision sees, and
+					// start-delay jitter stretches the boot time it must beat.
+					remaining := cl.TotalCapacity(now) * cfg.Chaos.CapacityFactor(x) // draining still serves
 					post := remaining - lost
 					util := 1.0
 					if post > 0 {
 						util = lambda / post
 					}
-					action := lb.DecideRevocation(util, 0.85, cfg.StartDelaySec, cfg.WarningSec)
+					effStartDelay := cfg.StartDelaySec * cfg.Chaos.StartDelayFactor(x)
+					action := lb.DecideRevocation(util, cfg.HighUtil, effStartDelay, cfg.WarningSec*scale)
+					if forced, ok := cfg.Chaos.ForcedAction(x); ok {
+						action = forced
+					}
+					res.Actions[action.String()]++
+					cfg.Journal.Record(metrics.EvDrainStart, -1, rv.market, action.String())
 					if action != lb.ActionRedistribute {
 						// Reprovision: replace lost capacity in the cheapest
 						// surviving transient market (reactive reprovision).
@@ -309,7 +417,8 @@ func (s *Simulator) Run() (*Result, error) {
 						if repl >= 0 {
 							need := int(math.Ceil(lost / caps[repl]))
 							for r := 0; r < need; r++ {
-								cl.Launch(repl, caps[repl], rv.warnAt)
+								srv := cl.Launch(repl, caps[repl], rv.warnAt)
+								cfg.Journal.Record(metrics.EvReplacementStarted, srv.ID, repl, "")
 								res.Launches++
 							}
 						}
@@ -323,7 +432,7 @@ func (s *Simulator) Run() (*Result, error) {
 						frac = lost / total
 					}
 					dead = append(dead, deadRouting{
-						until:    rv.warnAt + warningHrs + cfg.DetectionDelaySec/secPerHr,
+						until:    rv.warnAt + effWarnHrs + cfg.DetectionDelaySec/secPerHr,
 						fraction: frac,
 					})
 				}
@@ -348,8 +457,9 @@ func (s *Simulator) Run() (*Result, error) {
 					billedUntil[srv.ID] = until
 				}
 			}
-			cl.Advance(now)
-			capNow := cl.TotalCapacity(now)
+			advance(now)
+			// Slowdown/flap faults degrade effective serving capacity.
+			capNow := cl.TotalCapacity(now) * cfg.Chaos.CapacityFactor(x)
 			capSum += capNow
 
 			offered := lambda
@@ -369,6 +479,20 @@ func (s *Simulator) Run() (*Result, error) {
 
 			served, dropped, lat := cfg.Latency.Interval(offered, capNow)
 			dt := sub * secPerHr // seconds in this sub-step
+
+			// Track the admission-control regime: time spent with offered
+			// load beyond serving capacity, and transitions into/out of it.
+			if offered > capNow {
+				res.OverloadSecs += dt
+				if !inAdmission {
+					inAdmission = true
+					res.AdmissionEvents++
+					cfg.Journal.Record(metrics.EvAdmissionOn, -1, -1, "")
+				}
+			} else if inAdmission {
+				inAdmission = false
+				cfg.Journal.Record(metrics.EvAdmissionOff, -1, -1, "")
+			}
 
 			// Admission-control queueing: overload waits in a bounded FIFO
 			// instead of dropping, and is served late from spare capacity.
@@ -433,7 +557,7 @@ func (s *Simulator) Run() (*Result, error) {
 		res.Intervals = append(res.Intervals, im)
 
 		// Advance to the interval boundary.
-		cl.Advance(tEnd)
+		advance(tEnd)
 	}
 	if servedTotal > 0 {
 		res.MeanLatency = latWeighted / servedTotal
@@ -442,6 +566,51 @@ func (s *Simulator) Run() (*Result, error) {
 		res.ViolationPct = 100 * violTotal / offeredTotal
 	}
 	return res, nil
+}
+
+// stormVictims resolves an injected revocation to concrete market indices:
+// an explicit market list is filtered to live transient markets; otherwise
+// the Count most-populated live transient markets are hit (ties broken by
+// ascending index, for determinism) — correlated storms take out the markets
+// the portfolio leans on hardest.
+func (s *Simulator) stormVictims(cl *cluster.Cluster, rv chaos.Revocation) []int {
+	if len(rv.Markets) > 0 {
+		var out []int
+		for _, mkt := range rv.Markets {
+			if mkt < 0 || mkt >= s.Cat.Len() || !s.Cat.Markets[mkt].Transient {
+				continue
+			}
+			if len(cl.ServersInMarket(mkt)) > 0 {
+				out = append(out, mkt)
+			}
+		}
+		return out
+	}
+	type pop struct{ mkt, n int }
+	var pops []pop
+	for i, m := range s.Cat.Markets {
+		if !m.Transient {
+			continue
+		}
+		if n := len(cl.ServersInMarket(i)); n > 0 {
+			pops = append(pops, pop{i, n})
+		}
+	}
+	sort.Slice(pops, func(a, b int) bool {
+		if pops[a].n != pops[b].n {
+			return pops[a].n > pops[b].n
+		}
+		return pops[a].mkt < pops[b].mkt
+	})
+	k := rv.Count
+	if k > len(pops) {
+		k = len(pops)
+	}
+	out := make([]int, 0, k)
+	for i := 0; i < k; i++ {
+		out = append(out, pops[i].mkt)
+	}
+	return out
 }
 
 // cheapestAlive returns the cheapest transient market not currently being

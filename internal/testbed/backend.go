@@ -10,6 +10,7 @@ package testbed
 
 import (
 	"fmt"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"sync"
@@ -69,6 +70,7 @@ type Backend struct {
 	served   atomic.Int64
 	shed     atomic.Int64
 	closed   atomic.Bool
+	slowdown atomic.Uint64 // float64 bits; 0 means full speed (factor 1)
 
 	// Per-backend instrument handles (nil when the cluster runs without a
 	// metrics registry; all operations on them are then no-ops).
@@ -95,6 +97,24 @@ func (b *Backend) Shed() int64 { return b.shed.Load() }
 
 // Ready reports whether the simulated boot has finished.
 func (b *Backend) Ready() bool { return time.Since(b.bornAt) >= b.cfg.StartDelay }
+
+// SetSlowdown applies a service-time inflation factor (≥ 1) — the chaos
+// slowdown fault. 1 restores full speed.
+func (b *Backend) SetSlowdown(factor float64) {
+	if factor < 1 {
+		factor = 1
+	}
+	b.slowdown.Store(math.Float64bits(factor))
+}
+
+// slowdownFactor returns the active service-time inflation (≥ 1).
+func (b *Backend) slowdownFactor() float64 {
+	bits := b.slowdown.Load()
+	if bits == 0 {
+		return 1
+	}
+	return math.Float64frombits(bits)
+}
 
 // warmFactor returns the current capacity multiplier in [ColdFactor, 1].
 func (b *Backend) warmFactor() float64 {
@@ -126,9 +146,10 @@ func (b *Backend) handle(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	warm := b.warmFactor()
-	// Service time: base, inflated while cold, plus a processor-sharing
-	// penalty as concurrency approaches the capacity×service-time limit.
-	st := time.Duration(float64(b.cfg.BaseServiceTime) / warm)
+	// Service time: base, inflated while cold or slowed by fault injection,
+	// plus a processor-sharing penalty as concurrency approaches the
+	// capacity×service-time limit.
+	st := time.Duration(float64(b.cfg.BaseServiceTime) / warm * b.slowdownFactor())
 	saturation := float64(n) * float64(st.Seconds()) * 1 / (b.cfg.Capacity * warm)
 	if saturation > 0.5 {
 		st = time.Duration(float64(st) * (1 + 2*(saturation-0.5)))

@@ -2,6 +2,7 @@ package testbed
 
 import (
 	"io"
+	"math"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -17,6 +18,13 @@ type ClusterConfig struct {
 	Backend BackendConfig
 	// Warning is the revocation warning period.
 	Warning time.Duration
+	// HighUtil is the utilization threshold of the revocation decision
+	// (§6.1); 0 keeps the balancer's default (0.85).
+	HighUtil float64
+	// ActionOverride, when set, can force the balancer's revocation decision
+	// (the chaos fault-injection hook); return ok = false to keep the normal
+	// decision.
+	ActionOverride func() (lb.RevocationAction, bool)
 	// Vanilla disables transiency awareness in the front-end balancer
 	// (unmodified-HAProxy baseline): warnings are ignored and dead backends
 	// are only removed after FailDetect consecutive request failures.
@@ -60,7 +68,8 @@ type Cluster struct {
 
 	instrumented bool // OnRequest or Metrics present: time requests
 	met          clusterMetrics
-	admission    atomic.Bool // admission control currently in force
+	admission    atomic.Bool   // admission control currently in force
+	slowdown     atomic.Uint64 // float64 bits; applied to new backends
 
 	mu       sync.Mutex
 	backends map[int]*Backend
@@ -91,6 +100,10 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 	}
 	c.balancer.Vanilla = cfg.Vanilla
 	c.balancer.Journal = cfg.Journal
+	if cfg.HighUtil > 0 {
+		c.balancer.HighUtil = cfg.HighUtil
+	}
+	c.balancer.ActionOverride = cfg.ActionOverride
 	c.instrumented = cfg.OnRequest != nil || cfg.Metrics != nil
 	if r := cfg.Metrics; r != nil {
 		c.met = clusterMetrics{
@@ -168,6 +181,9 @@ func (c *Cluster) addBackend(mkt int, capacity float64, replacement bool) *Backe
 	bcfg.Capacity = capacity
 	b := newBackend(id, bcfg)
 	b.Market = mkt
+	if bits := c.slowdown.Load(); bits != 0 {
+		b.SetSlowdown(math.Float64frombits(bits))
+	}
 	c.backends[id] = b
 	c.mu.Unlock()
 	if r := c.cfg.Metrics; r != nil {
@@ -308,6 +324,13 @@ func (c *Cluster) TotalReadyCapacity() float64 {
 // needed, and the backends terminate after the warning period. offeredRate
 // is the current request rate used for the utilization decision.
 func (c *Cluster) Revoke(ids []int, offeredRate float64) {
+	c.RevokeWithWarning(ids, offeredRate, c.cfg.Warning)
+}
+
+// RevokeWithWarning is Revoke with an explicit warning period, letting fault
+// injectors deliver late (shortened) or lost (zero) warnings that differ
+// from the cluster's configured one.
+func (c *Cluster) RevokeWithWarning(ids []int, offeredRate float64, warning time.Duration) {
 	var lost float64
 	for _, id := range ids {
 		if b := c.backend(id); b != nil {
@@ -327,7 +350,7 @@ func (c *Cluster) Revoke(ids []int, offeredRate float64) {
 				util = offeredRate / remaining
 			}
 			action, _ := c.balancer.HandleWarning(id, util,
-				c.cfg.Backend.StartDelay.Seconds(), c.cfg.Warning.Seconds())
+				c.cfg.Backend.StartDelay.Seconds(), warning.Seconds())
 			if action == lb.ActionAdmissionControl && c.admission.CompareAndSwap(false, true) {
 				c.cfg.Journal.Record(metrics.EvAdmissionOn, id, b.Market, "replacements cannot start in time")
 			}
@@ -338,13 +361,29 @@ func (c *Cluster) Revoke(ids []int, offeredRate float64) {
 			}
 		}
 		go func(b *Backend, id int) {
-			time.Sleep(c.cfg.Warning)
+			if warning > 0 {
+				time.Sleep(warning)
+			}
 			b.terminate()
 			c.cfg.Journal.Record(metrics.EvBackendTerminated, id, b.Market, "revoked")
 			if !c.cfg.Vanilla {
 				c.balancer.CompleteDrain(id)
 			}
 		}(b, id)
+	}
+}
+
+// SetSlowdown applies a service-time inflation factor (≥ 1) to every current
+// and future backend — the chaos slowdown/flap fault. 1 restores full speed.
+func (c *Cluster) SetSlowdown(factor float64) {
+	if factor < 1 {
+		factor = 1
+	}
+	c.slowdown.Store(math.Float64bits(factor))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, b := range c.backends {
+		b.SetSlowdown(factor)
 	}
 }
 
