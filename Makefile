@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench fmt vet fuzz-smoke smoke chaos chaos-golden ci
+.PHONY: build test race bench bench-warm fmt vet fuzz-smoke smoke chaos chaos-golden ci
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,11 @@ race:
 
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# bench-warm measures the receding-horizon warm-start speedup (iters/round,
+# cold vs warm) at 50/200/500 markets — the DESIGN.md §9 numbers.
+bench-warm:
+	$(GO) test -run='^$$' -bench=RecedingHorizonColdVsWarm -benchtime=1x ./internal/portfolio/
 
 fmt:
 	@out=$$(gofmt -l .); \

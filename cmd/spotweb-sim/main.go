@@ -26,13 +26,14 @@ func main() {
 	parallelism := flag.Int("parallelism", 0, "optimizer worker bound: 0/1 serial, n>1 up to n workers, <0 all cores")
 	highUtil := flag.Float64("high-util", 0.85, "utilization threshold of the §6.1 revocation decision")
 	warning := flag.Float64("warning", 120, "revocation warning period in seconds")
+	warmStart := flag.Bool("warm-start", true, "warm-start receding-horizon solves from the previous round's shifted solver state")
 	flag.Parse()
 
 	// Route the dense linear algebra through the same pool as the solvers;
 	// results are bit-identical at any width.
 	linalg.SetPool(parallel.PoolFor(*parallelism))
 	opt := experiments.Options{Quick: *quick, Seed: *seed, Parallelism: *parallelism,
-		HighUtil: *highUtil, WarningSec: *warning}
+		HighUtil: *highUtil, WarningSec: *warning, ColdStart: !*warmStart}
 	w := os.Stdout
 
 	run := func(id string) bool {

@@ -60,6 +60,7 @@ func main() {
 	warning := flag.Duration("warning", 5*time.Second, "revocation warning period")
 	highUtil := flag.Float64("high-util", 0.85, "utilization threshold of the §6.1 revocation decision")
 	parallelism := flag.Int("parallelism", 0, "optimizer worker bound: 0/1 serial, n>1 up to n workers, <0 all cores")
+	warmStart := flag.Bool("warm-start", true, "seed each re-planning solve from the previous round's shifted solver state")
 	enableMetrics := flag.Bool("metrics", true, "enable the metrics registry, /metrics, /events and pprof")
 	slo := flag.Duration("slo", 500*time.Millisecond, "latency SLO threshold for the attainment tracker")
 	chaosScenario := flag.String("chaos-scenario", "", "chaos scenario to replay: a JSON file or a built-in name (empty = none)")
@@ -82,9 +83,10 @@ func main() {
 		Seed: *seed, NumTypes: *markets, Hours: 24 * 30,
 	})
 	ctrl, err := spotweb.NewController(spotweb.ControllerOptions{
-		Catalog:   cat,
-		Optimizer: spotweb.OptimizerConfig{Horizon: 4, ChurnKappa: 1.0, Parallelism: *parallelism},
-		Metrics:   reg,
+		Catalog: cat,
+		Optimizer: spotweb.OptimizerConfig{Horizon: 4, ChurnKappa: 1.0, Parallelism: *parallelism,
+			DisableWarmStart: !*warmStart},
+		Metrics: reg,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -47,7 +47,7 @@ func AblationChurn(w io.Writer, opt Options) ChurnAblationResult {
 		wlPred := predict.NewSplinePredictor(predict.SplineConfig{
 			StepHrs: 1.0 / float64(perHour), ARLag1: true, CIProb: 0.99}, 4)
 		predict.Pretrain(wlPred, full, trainN)
-		pol := autoscale.NewSpotWeb(portfolio.Config{Horizon: 4, ChurnKappa: kappa},
+		pol := autoscale.NewSpotWeb(portfolio.Config{Horizon: 4, ChurnKappa: kappa, DisableWarmStart: opt.ColdStart},
 			cat, wlPred, portfolio.MeanRevertSource{Cat: cat})
 		r := mustRun(cat, wl, pol, opt, true)
 		res.Costs = append(res.Costs, CostWithPenalty(r, 0.02))
@@ -89,7 +89,7 @@ func AblationPadding(w io.Writer, opt Options) PaddingAblationResult {
 		wlPred := predict.NewSplinePredictor(predict.SplineConfig{
 			ARLag1: true, CIProb: ci}, 4)
 		predict.Pretrain(wlPred, full, trainN)
-		pol := autoscale.NewSpotWeb(portfolio.Config{Horizon: 4, ChurnKappa: 1.0},
+		pol := autoscale.NewSpotWeb(portfolio.Config{Horizon: 4, ChurnKappa: 1.0, DisableWarmStart: opt.ColdStart},
 			cat, wlPred, portfolio.MeanRevertSource{Cat: cat})
 		r := mustRun(cat, wl, pol, opt, true)
 		res.Costs = append(res.Costs, CostWithPenalty(r, 0.02))
@@ -129,7 +129,7 @@ func AblationRisk(w io.Writer, opt Options) RiskAblationResult {
 
 		costs := cat.PerRequestCosts(tt)
 		fails := cat.FailProbs(tt)
-		cfg := portfolio.Config{Horizon: 4, ChurnKappa: 0.5}
+		cfg := portfolio.Config{Horizon: 4, ChurnKappa: 0.5, DisableWarmStart: opt.ColdStart}
 		base := func() *portfolio.Inputs {
 			in := &portfolio.Inputs{}
 			for τ := 0; τ < 4; τ++ {
@@ -217,7 +217,7 @@ func AblationLongRequests(w io.Writer, opt Options) LongRequestResult {
 
 	res := LongRequestResult{Ls: []float64{0, 0.05, 0.25, 1.0}}
 	for _, l := range res.Ls {
-		cfg := portfolio.Config{Horizon: 1, LongRequestFrac: l, Alpha: 0.5}
+		cfg := portfolio.Config{Horizon: 1, LongRequestFrac: l, Alpha: 0.5, DisableWarmStart: opt.ColdStart}
 		in := &portfolio.Inputs{
 			Lambda:     []float64{3000},
 			PerReqCost: [][]float64{costs},
@@ -278,7 +278,7 @@ func DiscussionStartupDelay(w io.Writer, opt Options) StartupDelayResult {
 		wlPred := predict.NewSplinePredictor(predict.SplineConfig{
 			StepHrs: 1.0 / float64(perHour), ARLag1: true, CIProb: 0.99}, h)
 		predict.Pretrain(wlPred, full, trainN)
-		pol := autoscale.NewSpotWeb(portfolio.Config{Horizon: h, ChurnKappa: 1.0},
+		pol := autoscale.NewSpotWeb(portfolio.Config{Horizon: h, ChurnKappa: 1.0, DisableWarmStart: opt.ColdStart},
 			cat, wlPred, portfolio.MeanRevertSource{Cat: cat})
 		s := &sim.Simulator{
 			// 25-minute VM start-up > 15-minute decisions (§7's "start-up
@@ -340,7 +340,7 @@ func DiscussionGoogleCloud(w io.Writer, opt Options) GoogleCloudResult {
 	}
 	wlPred := predict.NewSplinePredictor(predict.SplineConfig{ARLag1: true, CIProb: 0.99}, 4)
 	predict.Pretrain(wlPred, full, trainN)
-	sw := run(autoscale.NewSpotWeb(portfolio.Config{Horizon: 4, ChurnKappa: 1.0},
+	sw := run(autoscale.NewSpotWeb(portfolio.Config{Horizon: 4, ChurnKappa: 1.0, DisableWarmStart: opt.ColdStart},
 		cat, wlPred, portfolio.ReactiveSource{Cat: cat})) // prices are constant
 	odPol, err := autoscale.NewOnDemand(cat, 1.15, &predict.Reactive{})
 	if err != nil {

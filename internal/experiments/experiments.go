@@ -29,6 +29,11 @@ type Options struct {
 	// WarningSec overrides the revocation warning period (0 keeps the
 	// paper's 120 s).
 	WarningSec float64
+	// ColdStart disables warm-started receding-horizon solves (the
+	// -warm-start=false path): every round then solves from scratch, which
+	// reproduces strictly independent per-round solves at a severalfold
+	// iteration cost (see DESIGN.md §9).
+	ColdStart bool
 }
 
 func (o Options) seed() int64 {

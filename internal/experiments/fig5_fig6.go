@@ -79,7 +79,7 @@ func Fig5(w io.Writer, opt Options) Fig5Result {
 
 	// Fig 5(d): SpotWeb MPO with oracle workload and oracle prices (the
 	// paper's oracle-predictor setting for this experiment).
-	swPol := autoscale.NewSpotWeb(portfolio.Config{Horizon: 4, ChurnKappa: 0.05},
+	swPol := autoscale.NewSpotWeb(portfolio.Config{Horizon: 4, ChurnKappa: 0.05, DisableWarmStart: opt.ColdStart},
 		cat, &predict.Oracle{Values: wl.Values}, portfolio.OracleSource{Cat: cat})
 	swRes := mustRun(cat, wl, swPol, opt, true)
 
@@ -194,7 +194,7 @@ func Fig6a(w io.Writer, opt Options) Fig6aResult {
 		SavingsPct: map[int]float64{},
 	}
 	for _, h := range []int{2, 4} {
-		pol := autoscale.NewSpotWeb(portfolio.Config{Horizon: h, ChurnKappa: 0.05},
+		pol := autoscale.NewSpotWeb(portfolio.Config{Horizon: h, ChurnKappa: 0.05, DisableWarmStart: opt.ColdStart},
 			cat, &predict.Oracle{Values: wl.Values}, portfolio.OracleSource{Cat: cat})
 		r := mustRun(cat, wl, pol, opt, true)
 		res.SpotWeb[h] = r.TotalCost
@@ -270,7 +270,7 @@ func Fig6b(w io.Writer, opt Options, workload string) Fig6bResult {
 				StepHrs: 1.0 / perHour, ARLag1: true, CIProb: 0.99}, h)
 			predict.Pretrain(wlPred, full, trainN)
 			pol := autoscale.NewSpotWeb(
-				portfolio.Config{Horizon: h, ChurnKappa: 1.0},
+				portfolio.Config{Horizon: h, ChurnKappa: 1.0, DisableWarmStart: opt.ColdStart},
 				cat, wlPred, portfolio.MeanRevertSource{Cat: cat})
 			r := mustRun(cat, wl, pol, opt, true)
 			row = append(row, 100*Savings(CostWithPenalty(r, 0.02), exoCost))

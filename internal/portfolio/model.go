@@ -64,6 +64,18 @@ type Config struct {
 	ChurnKappa float64
 	// Solver selects the backend.
 	Solver SolverKind
+	// MaxIter overrides the solver's iteration budget (0 keeps the backend
+	// default: 4000 for FISTA, 8000 for ADMM). Mostly a testing/benchmark
+	// knob — tiny budgets force non-converged solves deterministically.
+	MaxIter int
+	// DisableWarmStart cold-starts every receding-horizon solve. The zero
+	// value keeps warm starting ON: each Planner round seeds the solver with
+	// the previous round's iterates shifted one period (plus the cached KKT
+	// factorization / Lipschitz estimate), which cuts steady-state solver
+	// iterations severalfold without changing what the solver converges to
+	// (first-interval allocations agree within solver tolerance). Disable it
+	// to reproduce strictly independent per-round solves.
+	DisableWarmStart bool
 	// Parallelism bounds the worker pool used for the solve: 0 or 1 runs
 	// serial, n > 1 uses up to n workers, negative uses all available cores.
 	// Any setting returns bit-identical plans — parallel kernels preserve the

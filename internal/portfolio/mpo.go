@@ -26,6 +26,12 @@ type Plan struct {
 	// PriRes is the solver's final primal residual (inf-norm) — the
 	// convergence quality the monitoring subsystem exposes per solve.
 	PriRes float64
+	// WarmStarted reports whether the solve was seeded from a previous
+	// round's warm state (iterates, KKT factorization or Lipschitz cache).
+	WarmStarted bool
+	// warm is the solver state that can seed the next receding-horizon
+	// round (Planner shifts it one period before reuse).
+	warm *solver.WarmState
 }
 
 // First returns the first-interval allocation (the executed trade).
@@ -150,8 +156,16 @@ func (c Config) feasibleSet(n int) *solver.ProductSet {
 	return solver.NewProductSet(blocks)
 }
 
-// Optimize solves the MPO program and returns the plan.
+// Optimize solves the MPO program and returns the plan (cold start).
 func Optimize(cfg Config, in *Inputs) (*Plan, error) {
+	return OptimizeWarm(cfg, in, nil)
+}
+
+// OptimizeWarm solves the MPO program, optionally seeding the solver from a
+// previous round's warm state (see solver.WarmState). The state is consumed;
+// the state for the *next* round rides back on the returned Plan. A nil warm
+// state is a cold start — OptimizeWarm(cfg, in, nil) ≡ Optimize(cfg, in).
+func OptimizeWarm(cfg Config, in *Inputs, warm *solver.WarmState) (*Plan, error) {
 	c := cfg.WithDefaults()
 	n, err := in.Validate(c.Horizon)
 	if err != nil {
@@ -168,19 +182,21 @@ func Optimize(cfg Config, in *Inputs) (*Plan, error) {
 	var res solver.Result
 	switch c.Solver {
 	case SolverADMM:
-		res = c.solveADMM(in, n)
+		res = c.solveADMM(in, n, warm)
 	default:
-		res = c.solveFISTA(in, n)
+		res = c.solveFISTA(in, n, warm)
 	}
 	if res.Status == solver.StatusError {
 		return nil, fmt.Errorf("portfolio: solver failed")
 	}
 	plan := &Plan{
-		Objective:  res.Objective,
-		SolveTime:  time.Since(start),
-		Iterations: res.Iterations,
-		Status:     res.Status,
-		PriRes:     res.PriRes,
+		Objective:   res.Objective,
+		SolveTime:   time.Since(start),
+		Iterations:  res.Iterations,
+		Status:      res.Status,
+		PriRes:      res.PriRes,
+		WarmStarted: res.WarmStarted,
+		warm:        res.Warm,
 	}
 	for τ := 0; τ < c.Horizon; τ++ {
 		alloc := linalg.Vector(res.X[τ*n : (τ+1)*n]).Clone()
@@ -195,7 +211,15 @@ func Optimize(cfg Config, in *Inputs) (*Plan, error) {
 	return plan, nil
 }
 
-func (c Config) solveFISTA(in *Inputs, n int) solver.Result {
+// maxIter returns the configured iteration budget or the backend default.
+func (c Config) maxIter(def int) int {
+	if c.MaxIter > 0 {
+		return c.MaxIter
+	}
+	return def
+}
+
+func (c Config) solveFISTA(in *Inputs, n int, warm *solver.WarmState) solver.Result {
 	kappa := c.churnWeight(in, n)
 	risk := RiskApplier(in.Risk)
 	if in.RiskOp != nil {
@@ -207,10 +231,12 @@ func (c Config) solveFISTA(in *Inputs, n int) solver.Result {
 		Q: c.buildLinear(in, n, kappa),
 		C: c.feasibleSet(n),
 	}
-	return solver.SolveFISTA(pp, solver.FISTASettings{MaxIter: 4000, Tol: 1e-7, Workers: ws})
+	return solver.SolveFISTA(pp, solver.FISTASettings{
+		MaxIter: c.maxIter(4000), Tol: 1e-7, Workers: ws, Warm: warm,
+	})
 }
 
-func (c Config) solveADMM(in *Inputs, n int) solver.Result {
+func (c Config) solveADMM(in *Inputs, n int, warm *solver.WarmState) solver.Result {
 	if in.Risk == nil {
 		return solver.Result{Status: solver.StatusError} // dense M required
 	}
@@ -271,7 +297,9 @@ func (c Config) solveADMM(in *Inputs, n int) solver.Result {
 		u[row] = c.AMax
 	}
 	prob := &solver.Problem{P: p, Q: c.buildLinear(in, n, kappa), A: a, L: l, U: u}
-	return solver.SolveADMM(prob, solver.ADMMSettings{MaxIter: 8000, EpsAbs: 1e-6, EpsRel: 1e-6, Workers: ws})
+	return solver.SolveADMM(prob, solver.ADMMSettings{
+		MaxIter: c.maxIter(8000), EpsAbs: 1e-6, EpsRel: 1e-6, Workers: ws, Warm: warm,
+	})
 }
 
 // ServerCounts converts a fractional allocation into integer server counts

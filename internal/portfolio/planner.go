@@ -7,6 +7,7 @@ import (
 	"repro/internal/market"
 	"repro/internal/metrics"
 	"repro/internal/predict"
+	"repro/internal/solver"
 )
 
 // ForecastSource supplies per-market price and failure-probability forecasts
@@ -20,14 +21,26 @@ type ForecastSource interface {
 	FailProbs(t, h int) [][]float64
 }
 
-// OracleSource reads true future values from the catalog.
+// OracleSource reads true future values from the catalog. Near the end of
+// the trace, horizon steps that would index past the final interval hold the
+// final interval's values instead — an explicit clamp, so forecasts stay
+// well-defined for every t the simulator can reach (previously the clamp
+// happened silently inside the per-market series lookup).
 type OracleSource struct{ Cat *market.Catalog }
+
+// clampTail clamps a horizon index to the catalog's final interval.
+func (o OracleSource) clampTail(idx int) int {
+	if last := o.Cat.Intervals - 1; idx > last {
+		return last
+	}
+	return idx
+}
 
 // PerReqCosts implements ForecastSource.
 func (o OracleSource) PerReqCosts(t, h int) [][]float64 {
 	out := make([][]float64, h)
 	for k := 0; k < h; k++ {
-		out[k] = o.Cat.PerRequestCosts(t + 1 + k)
+		out[k] = o.Cat.PerRequestCosts(o.clampTail(t + 1 + k))
 	}
 	return out
 }
@@ -36,7 +49,7 @@ func (o OracleSource) PerReqCosts(t, h int) [][]float64 {
 func (o OracleSource) FailProbs(t, h int) [][]float64 {
 	out := make([][]float64, h)
 	for k := 0; k < h; k++ {
-		out[k] = o.Cat.FailProbs(t + 1 + k)
+		out[k] = o.Cat.FailProbs(o.clampTail(t + 1 + k))
 	}
 	return out
 }
@@ -45,22 +58,27 @@ func (o OracleSource) FailProbs(t, h int) [][]float64 {
 // information set available to a backward-looking policy such as ExoSphere.
 type ReactiveSource struct{ Cat *market.Catalog }
 
-// PerReqCosts implements ForecastSource.
+// PerReqCosts implements ForecastSource. Every period gets its own copy of
+// the current cost vector: the h rows must not alias one backing slice, or
+// any downstream per-period row mutation (catalog pre-transforms, per-period
+// scaling) would silently corrupt every other period.
 func (r ReactiveSource) PerReqCosts(t, h int) [][]float64 {
-	now := r.Cat.PerRequestCosts(t)
-	out := make([][]float64, h)
-	for k := range out {
-		out[k] = now
-	}
-	return out
+	return replicateRows(r.Cat.PerRequestCosts(t), h)
 }
 
 // FailProbs implements ForecastSource.
 func (r ReactiveSource) FailProbs(t, h int) [][]float64 {
-	now := r.Cat.FailProbs(t)
+	return replicateRows(r.Cat.FailProbs(t), h)
+}
+
+// replicateRows returns h independent copies of row — one freshly backed
+// slice per horizon period.
+func replicateRows(row []float64, h int) [][]float64 {
 	out := make([][]float64, h)
 	for k := range out {
-		out[k] = now
+		cp := make([]float64, len(row))
+		copy(cp, row)
+		out[k] = cp
 	}
 	return out
 }
@@ -124,6 +142,17 @@ type Planner struct {
 	prevAlloc linalg.Vector
 	lastPred  float64
 	maeWin    []float64
+
+	// Warm-start state for the receding-horizon loop (nil when
+	// Cfg.DisableWarmStart or after invalidation). Each accepted plan's
+	// solver state is kept, shifted one period, and seeds the next round;
+	// it is invalidated whenever the market set or the horizon changes, and
+	// discarded after a non-converged solve (see Step's fallback).
+	warm     *solver.WarmState
+	warmN    int
+	warmH    int
+	warmCat  *market.Catalog
+	warmKind SolverKind
 }
 
 // NewPlanner wires a planner with defaults.
@@ -185,7 +214,7 @@ func (p *Planner) Step(t int, actualLambda float64) (*Decision, error) {
 		PrevAlloc:    p.prevAlloc,
 		ShortfallMAE: mae,
 	}
-	plan, err := Optimize(p.Cfg, in)
+	plan, err := p.solve(in)
 	if err != nil {
 		p.Metrics.Counter("spotweb_solver_errors_total", "MPO solves that failed.").Inc()
 		return nil, err
@@ -206,6 +235,57 @@ func (p *Planner) Step(t int, actualLambda float64) (*Decision, error) {
 	}, nil
 }
 
+// solve runs one receding-horizon round through the optimizer, managing the
+// warm-start state across rounds:
+//
+//   - The previous round's solver state — shifted one period, terminal
+//     period duplicated — seeds the solve (unless Cfg.DisableWarmStart).
+//   - The state is invalidated whenever the market set, the horizon or the
+//     solver backend changed since it was captured: stale iterates of the
+//     wrong shape (or a factorization of the wrong problem) must never leak
+//     into a solve.
+//   - A solve that does not converge within the iteration budget is not
+//     trusted when it was warm-started: the stale state is discarded, a
+//     spotweb_planner_fallback_total counter ticks, and the round is
+//     re-solved cold. The cold result is used either way (its iterate is the
+//     best available even at max-iterations, matching prior behaviour).
+//
+// Warm state is only ever carried from converged solves, so one bad round
+// cannot poison the next.
+func (p *Planner) solve(in *Inputs) (*Plan, error) {
+	n, h := p.Cat.Len(), p.Cfg.WithDefaults().Horizon
+	if p.Cfg.DisableWarmStart {
+		p.warm = nil
+		return Optimize(p.Cfg, in)
+	}
+	if p.warm != nil && (p.warmN != n || p.warmH != h || p.warmCat != p.Cat || p.warmKind != p.Cfg.Solver) {
+		p.warm = nil
+		p.Metrics.Counter("spotweb_planner_warm_invalidations_total",
+			"Warm-start states dropped because the market set, horizon or solver changed.").Inc()
+	}
+	warmUsed := p.warm != nil
+	plan, err := OptimizeWarm(p.Cfg, in, p.warm)
+	p.warm = nil // consumed (or about to be replaced)
+	if err != nil {
+		return nil, err
+	}
+	if plan.Status != solver.StatusSolved && warmUsed {
+		p.Metrics.Counter("spotweb_planner_fallback_total",
+			"Warm-started solves that failed to converge and were re-solved cold.").Inc()
+		cold, cerr := Optimize(p.Cfg, in)
+		if cerr != nil {
+			return nil, cerr
+		}
+		plan = cold
+	}
+	if plan.Status == solver.StatusSolved && plan.warm != nil {
+		p.warm = plan.warm
+		p.warm.ShiftHorizon(n)
+		p.warmN, p.warmH, p.warmCat, p.warmKind = n, h, p.Cat, p.Cfg.Solver
+	}
+	return plan, nil
+}
+
 // recordMetrics publishes one solve's health and the executed portfolio's
 // economics. Every call is a no-op when p.Metrics is nil — the handles it
 // asks for come back nil and their methods return immediately.
@@ -221,6 +301,18 @@ func (p *Planner) recordMetrics(t int, plan *Plan, in *Inputs) {
 		metrics.L("status", plan.Status.String())).Inc()
 	m.Histogram("spotweb_solver_solve_seconds", "Optimizer wall time per solve (the Fig. 7(b) metric).").
 		Observe(plan.SolveTime.Seconds())
+	// Warm-vs-cold split: the per-mode iteration and wall-time distributions
+	// are the receding-horizon speedup, readable directly off /metrics.
+	mode := "cold"
+	if plan.WarmStarted {
+		mode = "warm"
+	}
+	m.Counter("spotweb_solver_mode_total", "Solves by start mode (warm = seeded from the previous round).",
+		metrics.L("mode", mode)).Inc()
+	m.Histogram("spotweb_solver_mode_iterations", "Solver iterations per solve, by start mode.",
+		metrics.L("mode", mode)).Observe(float64(plan.Iterations))
+	m.Histogram("spotweb_solver_mode_solve_seconds", "Optimizer wall time per solve, by start mode.",
+		metrics.L("mode", mode)).Observe(plan.SolveTime.Seconds())
 	m.Gauge("spotweb_solver_residual", "Final primal residual (inf-norm) of the last solve.").
 		Set(plan.PriRes)
 	m.Gauge("spotweb_plan_interval", "Planning interval index of the last solve.").Set(float64(t))

@@ -73,12 +73,8 @@ func (s MeanRevertSource) PerReqCosts(t, h int) [][]float64 {
 	return out
 }
 
-// FailProbs implements ForecastSource (reactive).
+// FailProbs implements ForecastSource (reactive). Rows are independent
+// copies, like ReactiveSource's — see replicateRows.
 func (s MeanRevertSource) FailProbs(t, h int) [][]float64 {
-	now := s.Cat.FailProbs(t)
-	out := make([][]float64, h)
-	for k := range out {
-		out[k] = now
-	}
-	return out
+	return replicateRows(s.Cat.FailProbs(t), h)
 }

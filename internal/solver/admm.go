@@ -19,6 +19,13 @@ type ADMMSettings struct {
 	// updates concurrently; results are bit-identical to the serial path.
 	// The KKT factorization itself parallelizes through linalg.SetPool.
 	Workers *parallel.Pool
+	// Warm, when non-nil, seeds the solve from a previous Result.Warm: the
+	// x/z/y iterates start from the stored (optionally horizon-shifted)
+	// values, and the cached KKT factorization is reused when its
+	// fingerprint matches this problem's (P, A, σ, ρ) exactly. Warm state
+	// never changes what the solver converges to — only how fast — and is
+	// consumed: do not share one WarmState across concurrent solves.
+	Warm *WarmState
 }
 
 // admmGrain is the chunk size for the element-wise update kernels.
@@ -68,36 +75,66 @@ func SolveADMM(p *Problem, settings ADMMSettings) Result {
 	}
 	n, m := p.N(), p.M()
 
-	// Assemble and factor the KKT matrix. Each chunk fills its own rows of
-	// the upper-left block and its own (row, mirrored-column) pairs of the
-	// constraint blocks, so writes never overlap.
-	kkt := linalg.NewMatrix(n+m, n+m)
-	ws.For(n, admmGrain/8+1, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			for j := 0; j < n; j++ {
-				kkt.Set(i, j, p.P.At(i, j))
+	// Fingerprint the KKT data. A warm state carrying a factorization of the
+	// numerically identical (P, A, σ, ρ) skips assembly + LDLᵀ entirely —
+	// the dominant setup cost of repeated solves with fixed matrices.
+	sig := problemSig(p, s.Sigma, s.Rho)
+	warmStarted := false
+	var fact *linalg.LDLFactor
+	if s.Warm != nil && s.Warm.fact != nil && s.Warm.factSig == sig {
+		fact = s.Warm.fact
+		warmStarted = true
+	} else {
+		// Assemble and factor the KKT matrix. Each chunk fills its own rows
+		// of the upper-left block and its own (row, mirrored-column) pairs of
+		// the constraint blocks, so writes never overlap.
+		kkt := linalg.NewMatrix(n+m, n+m)
+		ws.For(n, admmGrain/8+1, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				for j := 0; j < n; j++ {
+					kkt.Set(i, j, p.P.At(i, j))
+				}
+				kkt.Add(i, i, s.Sigma)
 			}
-			kkt.Add(i, i, s.Sigma)
-		}
-	})
-	ws.For(m, admmGrain/8+1, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			for j := 0; j < n; j++ {
-				aij := p.A.At(i, j)
-				kkt.Set(n+i, j, aij)
-				kkt.Set(j, n+i, aij)
+		})
+		ws.For(m, admmGrain/8+1, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				for j := 0; j < n; j++ {
+					aij := p.A.At(i, j)
+					kkt.Set(n+i, j, aij)
+					kkt.Set(j, n+i, aij)
+				}
+				kkt.Set(n+i, n+i, -1/s.Rho)
 			}
-			kkt.Set(n+i, n+i, -1/s.Rho)
+		})
+		var err error
+		fact, err = linalg.LDL(kkt, 0)
+		if err != nil {
+			return Result{Status: StatusError}
 		}
-	})
-	fact, err := linalg.LDL(kkt, 0)
-	if err != nil {
-		return Result{Status: StatusError}
 	}
 
 	x := linalg.NewVector(n)
 	z := linalg.NewVector(m)
 	y := linalg.NewVector(m)
+	if s.Warm != nil && len(s.Warm.x) == n {
+		copy(x, s.Warm.x)
+		warmStarted = true
+		if len(s.Warm.z) == m && len(s.Warm.y) == m {
+			copy(z, s.Warm.z)
+			copy(y, s.Warm.y)
+		} else {
+			// Seed the slack consistently with the warm primal.
+			p.A.MulVec(x, z)
+			for i := range z {
+				if z[i] < p.L[i] {
+					z[i] = p.L[i]
+				} else if z[i] > p.U[i] {
+					z[i] = p.U[i]
+				}
+			}
+		}
+	}
 	rhs := linalg.NewVector(n + m)
 	sol := linalg.NewVector(n + m)
 	ax := linalg.NewVector(m)
@@ -180,5 +217,12 @@ func SolveADMM(p *Problem, settings ADMMSettings) Result {
 	res.X = x
 	res.Y = y
 	res.Objective = p.Objective(x)
+	res.WarmStarted = warmStarted
+	// Snapshot the warm state for the next solve. The iterates are cloned so
+	// later mutation of Result.X (or of a retained WarmState) cannot alias.
+	res.Warm = &WarmState{
+		x: x.Clone(), z: z.Clone(), y: y.Clone(),
+		fact: fact, factSig: sig,
+	}
 	return res
 }

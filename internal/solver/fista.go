@@ -69,6 +69,13 @@ type FISTASettings struct {
 	// the serial path: chunks write disjoint ranges and reductions stay in
 	// serial order. nil means serial.
 	Workers *parallel.Pool
+	// Warm, when non-nil, seeds the solve from a previous Result.Warm: the
+	// iterate/momentum pair starts from the stored (optionally
+	// horizon-shifted) values and the Lipschitz estimate restarts power
+	// iteration from the cached dominant eigenvector — a handful of matvecs
+	// instead of the cold 30. Termination still uses the full fixed-point
+	// residual, so a warm solve meets the same tolerance as a cold one.
+	Warm *WarmState
 }
 
 func (s FISTASettings) withDefaults() FISTASettings {
@@ -85,21 +92,34 @@ func (s FISTASettings) withDefaults() FISTASettings {
 // valid for PSD operators), returning a slightly inflated value so that 1/L
 // is a safe step size.
 func EstimateLipschitz(p QuadOperator, iters int) float64 {
+	l, _ := estimateLipschitz(p, nil, iters)
+	return l
+}
+
+// estimateLipschitz runs power iteration from v0 (or a deterministic
+// pseudo-random start when v0 is nil/mismatched) and returns the inflated
+// λmax estimate together with the final unit eigenvector, so a subsequent
+// solve of a nearby operator can restart from it with far fewer matvecs.
+func estimateLipschitz(p QuadOperator, v0 linalg.Vector, iters int) (float64, linalg.Vector) {
 	n := p.Dim()
 	if n == 0 {
-		return 1
+		return 1, nil
 	}
 	if iters <= 0 {
 		iters = 30
 	}
 	v := linalg.NewVector(n)
-	// Deterministic pseudo-random start so solves are reproducible.
-	seed := uint64(0x9e3779b97f4a7c15)
-	for i := range v {
-		seed ^= seed << 13
-		seed ^= seed >> 7
-		seed ^= seed << 17
-		v[i] = float64(seed%1000)/500.0 - 1.0
+	if len(v0) == n && v0.Norm2() > 0 {
+		copy(v, v0)
+	} else {
+		// Deterministic pseudo-random start so solves are reproducible.
+		seed := uint64(0x9e3779b97f4a7c15)
+		for i := range v {
+			seed ^= seed << 13
+			seed ^= seed >> 7
+			seed ^= seed << 17
+			v[i] = float64(seed%1000)/500.0 - 1.0
+		}
 	}
 	if v.Norm2() == 0 {
 		v[0] = 1
@@ -111,13 +131,13 @@ func EstimateLipschitz(p QuadOperator, iters int) float64 {
 		p.Apply(v, w)
 		nrm := w.Norm2()
 		if nrm == 0 {
-			return 1e-12 // P ≈ 0: any small L works, objective is affine
+			return 1e-12, v // P ≈ 0: any small L works, objective is affine
 		}
 		lambda = nrm
 		copy(v, w)
 		v.Scale(1 / nrm)
 	}
-	return lambda * 1.02
+	return lambda * 1.02, v
 }
 
 // PoolProjector is an optional extension of Projector for sets whose
@@ -159,9 +179,19 @@ func SolveFISTA(p *ProjectedProblem, settings FISTASettings) Result {
 		ws = parallel.Serial
 	}
 	n := p.P.Dim()
+	warmStarted := false
 	l := s.LipschitzBound
+	var lipVec linalg.Vector
 	if l <= 0 {
-		l = EstimateLipschitz(p.P, 30)
+		if s.Warm != nil && s.Warm.lip > 0 && len(s.Warm.lipVec) == n {
+			// Warm refresh: the dominant eigenvector of the slowly-drifting
+			// Hessian is an excellent power-iteration start, so a few matvecs
+			// recover (and track) the estimate the cold path needs 30 for.
+			l, lipVec = estimateLipschitz(p.P, s.Warm.lipVec, 6)
+			warmStarted = true
+		} else {
+			l, lipVec = estimateLipschitz(p.P, nil, 30)
+		}
 	}
 	if l < 1e-12 {
 		l = 1e-12
@@ -179,12 +209,32 @@ func SolveFISTA(p *ProjectedProblem, settings FISTASettings) Result {
 	}
 
 	x := linalg.NewVector(n) // current iterate
+	tk := 1.0
+	var xPrev linalg.Vector
+	if s.Warm != nil && len(s.Warm.x) == n {
+		copy(x, s.Warm.x)
+		warmStarted = true
+		if len(s.Warm.xPrev) == n && s.Warm.tk >= 1 {
+			xPrev = s.Warm.xPrev.Clone()
+			tk = s.Warm.tk
+		}
+	}
 	project(x)
 	yv := x.Clone() // extrapolated point
-	xPrev := x.Clone()
+	if xPrev == nil {
+		xPrev = x.Clone()
+	} else {
+		// Re-extrapolate from the warm momentum pair; the adaptive restart
+		// below resets it on the first uphill step, so a stale direction
+		// costs at most one iteration.
+		p.C.Project(xPrev)
+		beta := (tk - 1) / tk
+		for i := range yv {
+			yv[i] = x[i] + beta*(x[i]-xPrev[i])
+		}
+	}
 	grad := linalg.NewVector(n)
 	tmp := linalg.NewVector(n)
-	tk := 1.0
 
 	res := Result{Status: StatusMaxIterations}
 	for iter := 1; iter <= s.MaxIter; iter++ {
@@ -241,5 +291,13 @@ func SolveFISTA(p *ProjectedProblem, settings FISTASettings) Result {
 	}
 	res.X = x
 	res.Objective = p.Objective(x)
+	res.WarmStarted = warmStarted
+	if lipVec == nil && s.Warm != nil {
+		lipVec = s.Warm.lipVec // LipschitzBound override: keep any cached vector
+	}
+	res.Warm = &WarmState{
+		x: x.Clone(), xPrev: xPrev.Clone(), tk: tk,
+		lip: l, lipVec: lipVec,
+	}
 	return res
 }

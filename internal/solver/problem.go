@@ -130,4 +130,10 @@ type Result struct {
 	Iterations int
 	PriRes     float64 // final primal residual (inf-norm)
 	DuaRes     float64 // final dual residual (inf-norm)
+	// Warm is the solver state to seed a subsequent solve of a nearby
+	// problem with (see WarmState). Nil on error results.
+	Warm *WarmState
+	// WarmStarted reports whether this solve was seeded from a prior
+	// WarmState (iterates, factorization or Lipschitz cache).
+	WarmStarted bool
 }

@@ -139,19 +139,125 @@ func (s *Scaling) Unscale(x, y linalg.Vector) {
 	}
 }
 
+// Apply builds the scaled copy of p under this scaling: P ← cDPD, q ← cDq,
+// A ← EAD, l ← El, u ← Eu. Reapplying a scaling computed for a *different*
+// (nearby) problem is still an exact reformulation — any positive diagonal
+// scaling is — it just equilibrates a little less well, which is what lets
+// SolveADMMScaled cache the Ruiz sweep across receding-horizon rounds.
+func (s *Scaling) Apply(p *Problem) *Problem {
+	n, m := p.N(), p.M()
+	if len(s.D) != n || len(s.E) != m {
+		return nil
+	}
+	P := p.P.Clone()
+	A := p.A.Clone()
+	q := p.Q.Clone()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			P.Set(i, j, P.At(i, j)*s.C*s.D[i]*s.D[j])
+		}
+		q[i] *= s.C * s.D[i]
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			A.Set(i, j, A.At(i, j)*s.E[i]*s.D[j])
+		}
+	}
+	l := p.L.Clone()
+	u := p.U.Clone()
+	for i := 0; i < m; i++ {
+		if !math.IsInf(l[i], 0) {
+			l[i] *= s.E[i]
+		}
+		if !math.IsInf(u[i], 0) {
+			u[i] *= s.E[i]
+		}
+	}
+	return &Problem{P: P, Q: q, A: A, L: l, U: u}
+}
+
+// rescaleWarm maps a warm state between original and scaled coordinates:
+// into the scaled space when toScaled is true (x̂ = D⁻¹x, ẑ = Ez,
+// ŷ = y/(cE)), back to original coordinates otherwise.
+func (s *Scaling) rescaleWarm(w *WarmState, toScaled bool) {
+	if w == nil {
+		return
+	}
+	scaleVec := func(v linalg.Vector, f func(i int) float64) {
+		for i := range v {
+			v[i] *= f(i)
+		}
+	}
+	if toScaled {
+		if len(w.x) == len(s.D) {
+			scaleVec(w.x, func(i int) float64 { return 1 / s.D[i] })
+			scaleVec(w.xPrev, func(i int) float64 { return 1 / s.D[i] })
+		} else {
+			w.x, w.xPrev = nil, nil
+		}
+		if len(w.z) == len(s.E) {
+			scaleVec(w.z, func(i int) float64 { return s.E[i] })
+			scaleVec(w.y, func(i int) float64 { return 1 / (s.C * s.E[i]) })
+		} else {
+			w.z, w.y = nil, nil
+		}
+		return
+	}
+	if len(w.x) == len(s.D) {
+		scaleVec(w.x, func(i int) float64 { return s.D[i] })
+		scaleVec(w.xPrev, func(i int) float64 { return s.D[i] })
+	}
+	if len(w.z) == len(s.E) {
+		scaleVec(w.z, func(i int) float64 { return 1 / s.E[i] })
+		scaleVec(w.y, func(i int) float64 { return s.C * s.E[i] })
+	}
+}
+
 // SolveADMMScaled equilibrates the problem, solves it, and returns the
 // solution in original coordinates. Residuals in the Result refer to the
 // scaled problem; Objective is recomputed on the original.
+//
+// A warm state from a previous SolveADMMScaled carries the Ruiz scaling:
+// when its dimensions still match, the cached diagonal is reapplied instead
+// of re-running the equilibration sweep, and — because the scaled problem is
+// then built with the same diagonal every round — the inner solve's KKT
+// fingerprint stays comparable across rounds, so the factorization cache can
+// hit too. Warm iterates are carried in original coordinates and transformed
+// in and out around the inner solve.
 func SolveADMMScaled(p *Problem, settings ADMMSettings) Result {
 	if err := p.Validate(); err != nil {
 		return Result{Status: StatusError}
 	}
-	scaled, sc := RuizEquilibrate(p, 10)
+	var scaled *Problem
+	var sc *Scaling
+	reusedScaling := false
+	if w := settings.Warm; w != nil && w.scaling != nil && w.scaleN == p.N() && w.scaleM == p.M() {
+		if scaled = w.scaling.Apply(p); scaled != nil {
+			sc = w.scaling
+			reusedScaling = true
+		}
+	}
+	if scaled == nil {
+		scaled, sc = RuizEquilibrate(p, 10)
+		if settings.Warm != nil {
+			// Fresh scaling invalidates any cached factorization (it was
+			// computed for differently-scaled KKT data) but the iterates are
+			// still a good seed once transformed below.
+			settings.Warm.fact, settings.Warm.factSig = nil, 0
+		}
+	}
+	sc.rescaleWarm(settings.Warm, true)
 	res := SolveADMM(scaled, settings)
 	if res.Status == StatusError {
 		return res
 	}
 	sc.Unscale(res.X, res.Y)
 	res.Objective = p.Objective(res.X)
+	res.WarmStarted = res.WarmStarted || reusedScaling
+	if res.Warm != nil {
+		sc.rescaleWarm(res.Warm, false)
+		res.Warm.scaling = sc
+		res.Warm.scaleN, res.Warm.scaleM = p.N(), p.M()
+	}
 	return res
 }

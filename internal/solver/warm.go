@@ -1,0 +1,136 @@
+package solver
+
+import (
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// WarmState carries solver-internal state across successive solves of nearby
+// problems — the receding-horizon ("solve every interval, execute the first
+// period") regime, where round t+1's QP differs from round t's by one shifted
+// period and small data deltas. Callers treat it as opaque: take it from
+// Result.Warm, optionally ShiftHorizon it, and pass it back through the
+// settings of the next solve. A WarmState only ever *seeds* a solve; every
+// component that affects correctness (the cached KKT factorization, the
+// cached Ruiz scaling) is either revalidated against the new problem's data
+// or exact under reuse, so a warm solve terminates on the same residual
+// criteria as a cold one and its solution is interchangeable within solver
+// tolerance.
+//
+// A WarmState must not be shared across concurrent solves: each solve that
+// consumes one should own it.
+type WarmState struct {
+	// Primal/dual iterates in the original (unscaled) problem coordinates.
+	// x seeds both solvers; z and y are ADMM-only (nil for FISTA).
+	x, z, y linalg.Vector
+
+	// Cached dense LDLᵀ factorization of the ADMM KKT matrix, valid only for
+	// the exact (P, A, σ, ρ) combination fingerprinted by factSig. Reused
+	// when the next problem hashes identically, which skips the O(dim³)
+	// refactorization — the dominant ADMM setup cost.
+	fact    *linalg.LDLFactor
+	factSig uint64
+
+	// Cached Ruiz equilibration (SolveADMMScaled). Reapplying a previous
+	// scaling to a nearby problem is exact — any positive diagonal scaling
+	// is a valid reformulation — it merely equilibrates slightly less well,
+	// so reuse trades a few extra iterations for skipping the O(iters·n²)
+	// equilibration sweep.
+	scaling *Scaling
+	scaleN  int
+	scaleM  int
+
+	// Cached Lipschitz data (FISTA): the previous λmax(P) estimate and the
+	// dominant eigenvector it converged to. A warm estimate restarts power
+	// iteration from lipVec, which tracks the slowly-drifting Hessian in a
+	// handful of matvecs instead of the cold 30.
+	lip    float64
+	lipVec linalg.Vector
+
+	// FISTA momentum pair and step counter.
+	xPrev linalg.Vector
+	tk    float64
+}
+
+// HasFactorization reports whether the state carries a cached KKT
+// factorization (diagnostic; the solver revalidates it independently).
+func (w *WarmState) HasFactorization() bool { return w != nil && w.fact != nil }
+
+// Primal returns a copy of the stored primal iterate, or nil.
+func (w *WarmState) Primal() linalg.Vector {
+	if w == nil || w.x == nil {
+		return nil
+	}
+	return w.x.Clone()
+}
+
+// ShiftHorizon shifts the stored iterates one period earlier for a
+// receding-horizon problem whose decision vector stacks h period-blocks of n
+// variables: block τ takes block τ+1's values and the terminal block is
+// duplicated — the standard MPC seed for the next round's solve.
+//
+// ADMM dual/slack iterates are shifted too when their length matches the MPO
+// constraint layout (h·n box rows followed by h per-period aggregate rows);
+// any other layout drops them, which degrades the seed but never correctness.
+// Cached factorizations, scalings and Lipschitz data are layout-independent
+// and survive the shift untouched.
+func (w *WarmState) ShiftHorizon(n int) {
+	if w == nil || n <= 0 {
+		return
+	}
+	shiftBlocks := func(v linalg.Vector, blk int) {
+		if blk <= 0 || len(v)%blk != 0 || len(v) <= blk {
+			return
+		}
+		copy(v, v[blk:])
+		// Terminal block duplicated: v[end-blk:] already holds it.
+	}
+	if w.x != nil && len(w.x)%n == 0 {
+		shiftBlocks(w.x, n)
+		shiftBlocks(w.xPrev, n)
+		h := len(w.x) / n
+		if len(w.z) == h*n+h && len(w.y) == len(w.z) {
+			shiftBlocks(w.z[:h*n], n)
+			shiftBlocks(w.z[h*n:], 1)
+			shiftBlocks(w.y[:h*n], n)
+			shiftBlocks(w.y[h*n:], 1)
+		} else {
+			w.z, w.y = nil, nil
+		}
+	} else {
+		// Unknown layout: the iterates cannot be shifted meaningfully.
+		w.x, w.z, w.y, w.xPrev = nil, nil, nil, nil
+	}
+}
+
+// problemSig fingerprints the data the ADMM KKT factorization depends on:
+// the entries of P and A plus (σ, ρ) and the dimensions. FNV-1a over the
+// raw float bits — a value hash, not just a sparsity hash, so a cached
+// factorization is only ever reused when it is numerically exact for the new
+// problem. The O(n² + mn) pass is negligible next to the O((n+m)³) factor
+// it guards.
+func problemSig(p *Problem, sigma, rho float64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= prime64
+		}
+	}
+	mix(uint64(p.N()))
+	mix(uint64(p.M()))
+	mix(math.Float64bits(sigma))
+	mix(math.Float64bits(rho))
+	for _, v := range p.P.Data {
+		mix(math.Float64bits(v))
+	}
+	for _, v := range p.A.Data {
+		mix(math.Float64bits(v))
+	}
+	return h
+}
