@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-warm fmt vet fuzz-smoke smoke chaos chaos-golden ci
+.PHONY: build test race bench bench-warm bench-kkt fmt vet fuzz-smoke smoke chaos chaos-golden ci
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,12 @@ bench:
 # cold vs warm) at 50/200/500 markets — the DESIGN.md §9 numbers.
 bench-warm:
 	$(GO) test -run='^$$' -bench=RecedingHorizonColdVsWarm -benchtime=1x ./internal/portfolio/
+
+# bench-kkt compares the dense and structure-exploiting KKT backends of the
+# MPO ADMM solver (cold solve latency + allocated bytes) and writes the
+# go-test JSON stream to BENCH_kkt.json — the DESIGN.md §10 numbers.
+bench-kkt:
+	sh scripts/bench_kkt.sh
 
 fmt:
 	@out=$$(gofmt -l .); \

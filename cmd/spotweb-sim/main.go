@@ -16,6 +16,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/linalg"
 	"repro/internal/parallel"
+	"repro/internal/portfolio"
 )
 
 func main() {
@@ -27,13 +28,20 @@ func main() {
 	highUtil := flag.Float64("high-util", 0.85, "utilization threshold of the §6.1 revocation decision")
 	warning := flag.Float64("warning", 120, "revocation warning period in seconds")
 	warmStart := flag.Bool("warm-start", true, "warm-start receding-horizon solves from the previous round's shifted solver state")
+	kktPath := flag.String("kkt", "auto", "ADMM KKT backend: auto (size-based), dense, or sparse (structure-exploiting)")
 	flag.Parse()
+
+	kkt, err := portfolio.ParseKKTPath(*kktPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	// Route the dense linear algebra through the same pool as the solvers;
 	// results are bit-identical at any width.
 	linalg.SetPool(parallel.PoolFor(*parallelism))
 	opt := experiments.Options{Quick: *quick, Seed: *seed, Parallelism: *parallelism,
-		HighUtil: *highUtil, WarningSec: *warning, ColdStart: !*warmStart}
+		HighUtil: *highUtil, WarningSec: *warning, ColdStart: !*warmStart, KKT: kkt}
 	w := os.Stdout
 
 	run := func(id string) bool {

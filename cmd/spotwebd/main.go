@@ -47,6 +47,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/monitor"
 	"repro/internal/parallel"
+	"repro/internal/portfolio"
 	"repro/internal/testbed"
 )
 
@@ -61,11 +62,17 @@ func main() {
 	highUtil := flag.Float64("high-util", 0.85, "utilization threshold of the §6.1 revocation decision")
 	parallelism := flag.Int("parallelism", 0, "optimizer worker bound: 0/1 serial, n>1 up to n workers, <0 all cores")
 	warmStart := flag.Bool("warm-start", true, "seed each re-planning solve from the previous round's shifted solver state")
+	kktPath := flag.String("kkt", "auto", "ADMM KKT backend: auto (size-based), dense, or sparse (structure-exploiting)")
 	enableMetrics := flag.Bool("metrics", true, "enable the metrics registry, /metrics, /events and pprof")
 	slo := flag.Duration("slo", 500*time.Millisecond, "latency SLO threshold for the attainment tracker")
 	chaosScenario := flag.String("chaos-scenario", "", "chaos scenario to replay: a JSON file or a built-in name (empty = none)")
 	chaosDur := flag.Duration("chaos-duration", 10*time.Minute, "wall-clock window the chaos scenario timeline is mapped onto")
 	flag.Parse()
+
+	kkt, err := portfolio.ParseKKTPath(*kktPath)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Route the optimizer's dense linear algebra through the shared pool;
 	// plans are bit-identical at any width, only solve latency changes.
@@ -85,7 +92,7 @@ func main() {
 	ctrl, err := spotweb.NewController(spotweb.ControllerOptions{
 		Catalog: cat,
 		Optimizer: spotweb.OptimizerConfig{Horizon: 4, ChurnKappa: 1.0, Parallelism: *parallelism,
-			DisableWarmStart: !*warmStart},
+			DisableWarmStart: !*warmStart, KKT: kkt},
 		Metrics: reg,
 	})
 	if err != nil {

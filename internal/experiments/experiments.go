@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/portfolio"
 	"repro/internal/sim"
 )
 
@@ -34,6 +35,10 @@ type Options struct {
 	// reproduces strictly independent per-round solves at a severalfold
 	// iteration cost (see DESIGN.md §9).
 	ColdStart bool
+	// KKT selects the ADMM x-update backend (portfolio.KKTAuto by default:
+	// dense assembled KKT below n·h = 128, structure-exploiting block
+	// factorization at or above it; see DESIGN.md §10).
+	KKT portfolio.KKTPath
 }
 
 func (o Options) seed() int64 {

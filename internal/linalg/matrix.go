@@ -67,6 +67,21 @@ func (m *Matrix) MulVec(x, dst Vector) Vector {
 	if len(dst) != m.Rows {
 		panic(fmt.Sprintf("linalg: MulVec dst length %d != rows %d", len(dst), m.Rows))
 	}
+	if ActivePool() == nil {
+		// Serial fast path: branching before the closure literal below keeps
+		// the per-call matvec allocation-free (the closure would otherwise
+		// escape through the pool dispatch), which the solvers' steady-state
+		// 0-alloc guarantee relies on.
+		for i := 0; i < m.Rows; i++ {
+			row := m.Data[i*m.Cols : (i+1)*m.Cols]
+			var s float64
+			for j, a := range row {
+				s += a * x[j]
+			}
+			dst[i] = s
+		}
+		return dst
+	}
 	pfor(m.Rows, m.Cols, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			row := m.Data[i*m.Cols : (i+1)*m.Cols]
@@ -87,6 +102,23 @@ func (m *Matrix) MulVecT(x, dst Vector) Vector {
 	}
 	if len(dst) != m.Cols {
 		panic(fmt.Sprintf("linalg: MulVecT dst length %d != cols %d", len(dst), m.Cols))
+	}
+	if ActivePool() == nil {
+		// Serial fast path; see MulVec for why this precedes the closure.
+		for j := range dst {
+			dst[j] = 0
+		}
+		for i := 0; i < m.Rows; i++ {
+			xi := x[i]
+			if xi == 0 {
+				continue
+			}
+			row := m.Data[i*m.Cols : (i+1)*m.Cols]
+			for j, a := range row {
+				dst[j] += a * xi
+			}
+		}
+		return dst
 	}
 	// Split over output columns so concurrent chunks write disjoint ranges;
 	// each dst[j] accumulates over rows in ascending order regardless of the

@@ -34,6 +34,46 @@ const (
 	SolverADMM
 )
 
+// KKTPath selects how the ADMM backend factors its KKT system.
+type KKTPath int
+
+const (
+	// KKTAuto picks dense for small problems and the structured sparse path
+	// once n·h crosses kktDenseMaxDim (the default).
+	KKTAuto KKTPath = iota
+	// KKTDense always assembles and factors the full dense KKT matrix.
+	KKTDense
+	// KKTSparse always uses the block-tridiagonal reduced factorization with
+	// a CSR constraint matrix; dense P and A are never materialized.
+	KKTSparse
+)
+
+// String implements fmt.Stringer (the value used for flags and metrics).
+func (k KKTPath) String() string {
+	switch k {
+	case KKTDense:
+		return "dense"
+	case KKTSparse:
+		return "sparse"
+	default:
+		return "auto"
+	}
+}
+
+// ParseKKTPath maps the flag spelling ("auto", "dense", "sparse") to a
+// KKTPath.
+func ParseKKTPath(s string) (KKTPath, error) {
+	switch s {
+	case "", "auto":
+		return KKTAuto, nil
+	case "dense":
+		return KKTDense, nil
+	case "sparse":
+		return KKTSparse, nil
+	}
+	return KKTAuto, fmt.Errorf("portfolio: unknown KKT path %q (want auto, dense or sparse)", s)
+}
+
 // Config holds the optimizer parameters. Zero values take the paper's §6
 // defaults where one exists.
 type Config struct {
@@ -81,6 +121,12 @@ type Config struct {
 	// Any setting returns bit-identical plans — parallel kernels preserve the
 	// serial accumulation order — so this is purely a latency knob.
 	Parallelism int
+	// KKT selects the ADMM backend's KKT factorization path. The default
+	// (KKTAuto) keeps the dense factorization for small programs and switches
+	// to the structured block-tridiagonal path once the stacked dimension n·h
+	// reaches kktDenseMaxDim — both paths solve the identical x-update system,
+	// so plans agree within solver tolerance. Ignored by the FISTA backend.
+	KKT KKTPath
 }
 
 // WithDefaults fills unset fields with the paper's defaults.

@@ -29,6 +29,9 @@ type Plan struct {
 	// WarmStarted reports whether the solve was seeded from a previous
 	// round's warm state (iterates, KKT factorization or Lipschitz cache).
 	WarmStarted bool
+	// KKTPath reports which ADMM factorization served the solve: "dense" or
+	// "sparse". Empty for the FISTA backend (no KKT system).
+	KKTPath string
 	// warm is the solver state that can seed the next receding-horizon
 	// round (Planner shifts it one period before reuse).
 	warm *solver.WarmState
@@ -39,41 +42,39 @@ func (p *Plan) First() linalg.Vector { return p.Alloc[0] }
 
 // horizonOperator is the Hessian of the MPO objective as a matrix-free
 // operator: block-diagonal risk (2αM per period) plus the tridiagonal churn
-// coupling 2κ(‖A_τ − A_{τ−1}‖² terms).
+// coupling 2κ(‖A_τ − A_{τ−1}‖² terms). Construct with newHorizonOperator.
 type horizonOperator struct {
 	m     RiskApplier // risk matrix M (dense, sparse or factor model)
 	alpha float64
 	kappa float64
 	n, h  int
 	pool  *parallel.Pool // per-period blocks run concurrently; nil = serial
+
+	// Operands of the in-flight Apply. The chunk bodies below read them
+	// through the receiver so the closures can be built once at construction
+	// instead of once per Apply — Apply runs every solver iteration and must
+	// not allocate in steady state.
+	x, dst    linalg.Vector
+	riskBody  func(plo, phi int)
+	churnBody func(plo, phi int)
 }
 
-// Apply implements solver.QuadOperator. Each period writes only its own
-// dst block (the churn coupling reads neighbouring x blocks but never
-// neighbouring dst), so periods parallelize without changing any element's
-// accumulation order.
-func (o *horizonOperator) Apply(x, dst linalg.Vector) {
-	n, h := o.n, o.h
-	ws := o.pool
-	if ws == nil {
-		ws = parallel.Serial
-	}
-	ws.For(h, 1, func(plo, phi int) {
+// newHorizonOperator builds the operator with its chunk bodies pre-bound.
+func newHorizonOperator(m RiskApplier, alpha, kappa float64, n, h int, pool *parallel.Pool) *horizonOperator {
+	o := &horizonOperator{m: m, alpha: alpha, kappa: kappa, n: n, h: h, pool: pool}
+	o.riskBody = func(plo, phi int) {
 		for τ := plo; τ < phi; τ++ {
-			xb := x[τ*n : (τ+1)*n]
-			db := dst[τ*n : (τ+1)*n]
+			xb := o.x[τ*n : (τ+1)*n]
+			db := o.dst[τ*n : (τ+1)*n]
 			o.m.MulVec(xb, db)
 			linalg.Vector(db).Scale(2 * o.alpha)
 		}
-	})
-	if o.kappa == 0 {
-		return
 	}
-	k2 := 2 * o.kappa
-	ws.For(h, 1, func(plo, phi int) {
+	o.churnBody = func(plo, phi int) {
+		k2 := 2 * o.kappa
 		for τ := plo; τ < phi; τ++ {
-			xb := x[τ*n : (τ+1)*n]
-			db := dst[τ*n : (τ+1)*n]
+			xb := o.x[τ*n : (τ+1)*n]
+			db := o.dst[τ*n : (τ+1)*n]
 			// Each A_τ appears in the (τ) difference and, if τ+1 < h, in the
 			// (τ+1) difference.
 			diagCount := 1.0
@@ -84,19 +85,36 @@ func (o *horizonOperator) Apply(x, dst linalg.Vector) {
 				db[i] += k2 * diagCount * xb[i]
 			}
 			if τ > 0 {
-				prev := x[(τ-1)*n : τ*n]
+				prev := o.x[(τ-1)*n : τ*n]
 				for i := 0; i < n; i++ {
 					db[i] -= k2 * prev[i]
 				}
 			}
 			if τ+1 < h {
-				next := x[(τ+1)*n : (τ+2)*n]
+				next := o.x[(τ+1)*n : (τ+2)*n]
 				for i := 0; i < n; i++ {
 					db[i] -= k2 * next[i]
 				}
 			}
 		}
-	})
+	}
+	return o
+}
+
+// Apply implements solver.QuadOperator. Each period writes only its own
+// dst block (the churn coupling reads neighbouring x blocks but never
+// neighbouring dst), so periods parallelize without changing any element's
+// accumulation order.
+func (o *horizonOperator) Apply(x, dst linalg.Vector) {
+	o.x, o.dst = x, dst
+	ws := o.pool
+	if ws == nil {
+		ws = parallel.Serial
+	}
+	ws.For(o.h, 1, o.riskBody)
+	if o.kappa != 0 {
+		ws.For(o.h, 1, o.churnBody)
+	}
 }
 
 // Dim implements solver.QuadOperator.
@@ -180,9 +198,10 @@ func OptimizeWarm(cfg Config, in *Inputs, warm *solver.WarmState) (*Plan, error)
 	}
 	start := time.Now()
 	var res solver.Result
+	var kktPath string
 	switch c.Solver {
 	case SolverADMM:
-		res = c.solveADMM(in, n, warm)
+		res, kktPath = c.solveADMM(in, n, warm)
 	default:
 		res = c.solveFISTA(in, n, warm)
 	}
@@ -196,6 +215,7 @@ func OptimizeWarm(cfg Config, in *Inputs, warm *solver.WarmState) (*Plan, error)
 		Status:      res.Status,
 		PriRes:      res.PriRes,
 		WarmStarted: res.WarmStarted,
+		KKTPath:     kktPath,
 		warm:        res.Warm,
 	}
 	for τ := 0; τ < c.Horizon; τ++ {
@@ -227,7 +247,7 @@ func (c Config) solveFISTA(in *Inputs, n int, warm *solver.WarmState) solver.Res
 	}
 	ws := parallel.PoolFor(c.Parallelism)
 	pp := &solver.ProjectedProblem{
-		P: &horizonOperator{m: risk, alpha: c.Alpha, kappa: kappa, n: n, h: c.Horizon, pool: ws},
+		P: newHorizonOperator(risk, c.Alpha, kappa, n, c.Horizon, ws),
 		Q: c.buildLinear(in, n, kappa),
 		C: c.feasibleSet(n),
 	}
@@ -236,14 +256,89 @@ func (c Config) solveFISTA(in *Inputs, n int, warm *solver.WarmState) solver.Res
 	})
 }
 
-func (c Config) solveADMM(in *Inputs, n int, warm *solver.WarmState) solver.Result {
-	if in.Risk == nil {
-		return solver.Result{Status: solver.StatusError} // dense M required
+// kktDenseMaxDim is the stacked dimension n·h at which KKTAuto switches the
+// ADMM backend from the dense KKT factorization to the structured sparse
+// path. Below it the dense factor is cheap and its round-off behaviour is the
+// long-standing reference; above it the block path's O(h·n³) factor and
+// O((n·h)·n) memory win decisively (the dense KKT grows O((nh+h)²) just to
+// materialize).
+const kktDenseMaxDim = 128
+
+// useSparseKKT resolves the Config.KKT selection for a problem of n markets.
+func (c Config) useSparseKKT(n int) bool {
+	switch c.KKT {
+	case KKTDense:
+		return false
+	case KKTSparse:
+		return true
+	default:
+		return n*c.Horizon >= kktDenseMaxDim
 	}
+}
+
+// buildADMMSparse assembles the MPO program in structured form: a matrix-free
+// Hessian, a CSR constraint matrix and the MPOStructure declaration that
+// routes solver.SolveADMM through the block-tridiagonal KKT factorization.
+// Nothing O((nh)²) is ever allocated — the point of the sparse path is that
+// n=1000, h=24 fits in memory where the dense KKT (~19 GB) cannot.
+func (c Config) buildADMMSparse(in *Inputs, n int, kappa float64, ws *parallel.Pool) *solver.Problem {
 	h := c.Horizon
 	dim := n * h
+	m := dim + h
+	// Constraint triplets: the dim box rows (identity), then one sum row per
+	// period — 2·dim entries total.
+	is := make([]int, 0, 2*dim)
+	js := make([]int, 0, 2*dim)
+	vs := make([]float64, 0, 2*dim)
+	l := linalg.NewVector(m)
+	u := linalg.NewVector(m)
+	for k := 0; k < dim; k++ {
+		is, js, vs = append(is, k), append(js, k), append(vs, 1)
+		u[k] = c.AMaxPerMarket
+	}
+	for τ := 0; τ < h; τ++ {
+		row := dim + τ
+		for i := 0; i < n; i++ {
+			is, js, vs = append(is, row), append(js, τ*n+i), append(vs, 1)
+		}
+		l[row] = c.AMin
+		u[row] = c.AMax
+	}
+	return &solver.Problem{
+		POp:     newHorizonOperator(in.Risk, c.Alpha, kappa, n, h, ws),
+		Q:       c.buildLinear(in, n, kappa),
+		ASparse: linalg.NewCSRFromTriplets(m, dim, is, js, vs),
+		L:       l,
+		U:       u,
+		Block: &solver.MPOStructure{
+			N: n, H: h,
+			Risk:      in.Risk,
+			RiskScale: 2 * c.Alpha,
+			ChurnK:    2 * kappa,
+		},
+	}
+}
+
+func (c Config) solveADMM(in *Inputs, n int, warm *solver.WarmState) (solver.Result, string) {
+	if in.Risk == nil {
+		return solver.Result{Status: solver.StatusError}, "" // dense M required
+	}
 	kappa := c.churnWeight(in, n)
 	ws := parallel.PoolFor(c.Parallelism)
+	settings := solver.ADMMSettings{
+		MaxIter: c.maxIter(8000), EpsAbs: 1e-6, EpsRel: 1e-6, Workers: ws, Warm: warm,
+	}
+	if c.useSparseKKT(n) {
+		return solver.SolveADMM(c.buildADMMSparse(in, n, kappa, ws), settings), "sparse"
+	}
+	return solver.SolveADMM(c.buildADMMDense(in, n, kappa, ws), settings), "dense"
+}
+
+// buildADMMDense assembles the MPO program with dense P and A — the reference
+// path for small problems.
+func (c Config) buildADMMDense(in *Inputs, n int, kappa float64, ws *parallel.Pool) *solver.Problem {
+	h := c.Horizon
+	dim := n * h
 	// Dense Hessian: block-diagonal 2αM plus churn tridiagonal coupling.
 	// Periods write disjoint row blocks, so assembly splits across the pool.
 	p := linalg.NewMatrix(dim, dim)
@@ -296,10 +391,7 @@ func (c Config) solveADMM(in *Inputs, n int, warm *solver.WarmState) solver.Resu
 		l[row] = c.AMin
 		u[row] = c.AMax
 	}
-	prob := &solver.Problem{P: p, Q: c.buildLinear(in, n, kappa), A: a, L: l, U: u}
-	return solver.SolveADMM(prob, solver.ADMMSettings{
-		MaxIter: c.maxIter(8000), EpsAbs: 1e-6, EpsRel: 1e-6, Workers: ws, Warm: warm,
-	})
+	return &solver.Problem{P: p, Q: c.buildLinear(in, n, kappa), A: a, L: l, U: u}
 }
 
 // ServerCounts converts a fractional allocation into integer server counts

@@ -242,7 +242,7 @@ func TestHorizonOperatorMatchesDense(t *testing.T) {
 		}
 		risk.Add(i, i, 0.05)
 	}
-	op := &horizonOperator{m: risk, alpha: 5, kappa: 0.7, n: n, h: h}
+	op := newHorizonOperator(risk, 5, 0.7, n, h, nil)
 	// Dense counterpart from the ADMM builder, extracted via Apply on basis
 	// vectors.
 	x := linalg.NewVector(n * h)

@@ -1,0 +1,8 @@
+//go:build !race
+
+package portfolio
+
+// raceEnabled lets the heavier KKT equivalence cases (dense factorizations at
+// n=200, h=12) run only in non-race builds; under -race they shrink to sizes
+// that keep the instrumented run fast.
+const raceEnabled = false

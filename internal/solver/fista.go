@@ -236,17 +236,34 @@ func SolveFISTA(p *ProjectedProblem, settings FISTASettings) Result {
 	grad := linalg.NewVector(n)
 	tmp := linalg.NewVector(n)
 
+	// Element-wise kernels, hoisted so the iteration loop passes pre-built
+	// closures to the pool instead of heap-allocating new ones every
+	// iteration (the loop must stay allocation-free in steady state). They
+	// write disjoint chunks, so any pool width gives the serial result.
+	// momentum is re-read each call; the loop updates it before extrapolate.
+	var momentum float64
+	gradStep := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			xPrev[i] = x[i]
+			x[i] = yv[i] - step*(grad[i]+p.Q[i])
+		}
+	}
+	extrapolate := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			yv[i] = x[i] + momentum*(x[i]-xPrev[i])
+		}
+	}
+	fixedPoint := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			tmp[i] = x[i] - step*(grad[i]+p.Q[i])
+		}
+	}
+
 	res := Result{Status: StatusMaxIterations}
 	for iter := 1; iter <= s.MaxIter; iter++ {
-		// Gradient step at the extrapolated point. The element-wise kernels
-		// write disjoint chunks, so any pool width gives the serial result.
+		// Gradient step at the extrapolated point.
 		p.P.Apply(yv, grad)
-		ws.For(n, fistaGrain, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				xPrev[i] = x[i]
-				x[i] = yv[i] - step*(grad[i]+p.Q[i])
-			}
-		})
+		ws.For(n, fistaGrain, gradStep)
 		project(x)
 
 		// Adaptive restart: if momentum points uphill, reset it. The dot
@@ -259,22 +276,14 @@ func SolveFISTA(p *ProjectedProblem, settings FISTASettings) Result {
 			tk = 1
 		}
 		tNext := 0.5 * (1 + math.Sqrt(1+4*tk*tk))
-		beta := (tk - 1) / tNext
-		ws.For(n, fistaGrain, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				yv[i] = x[i] + beta*(x[i]-xPrev[i])
-			}
-		})
+		momentum = (tk - 1) / tNext
+		ws.For(n, fistaGrain, extrapolate)
 		tk = tNext
 
 		// Fixed-point residual at x (checked periodically).
 		if iter%5 == 0 || iter == s.MaxIter {
 			p.P.Apply(x, grad)
-			ws.For(n, fistaGrain, func(lo, hi int) {
-				for i := lo; i < hi; i++ {
-					tmp[i] = x[i] - step*(grad[i]+p.Q[i])
-				}
-			})
+			ws.For(n, fistaGrain, fixedPoint)
 			project(tmp)
 			var fp float64
 			for i := range tmp {

@@ -49,27 +49,72 @@ func (s Status) String() string {
 // Problem is the QP  minimize ½xᵀPx + qᵀx  subject to  l ≤ Ax ≤ u.
 // P must be symmetric positive semidefinite. Equality constraints are
 // expressed with l[i] == u[i]; one-sided constraints with ±Inf bounds.
+//
+// Both the Hessian and the constraint matrix can be carried dense or
+// structured: exactly one of P/POp and exactly one of A/ASparse must be set.
+// The structured forms keep the horizon-stacked MPO program — block-diagonal
+// risk, tridiagonal churn coupling, identity-plus-sum-rows constraints —
+// from ever materializing O((nh)²) dense matrices.
 type Problem struct {
-	P *linalg.Matrix // n×n, symmetric PSD
-	Q linalg.Vector  // n
-	A *linalg.Matrix // m×n
-	L linalg.Vector  // m, may contain -Inf
-	U linalg.Vector  // m, may contain +Inf
+	P *linalg.Matrix // n×n, symmetric PSD; nil when POp carries the Hessian
+	// POp optionally carries the Hessian as a matrix-free operator. It must
+	// represent the same symmetric PSD P.
+	POp QuadOperator
+	Q   linalg.Vector  // n
+	A   *linalg.Matrix // m×n; nil when ASparse carries the constraints
+	// ASparse optionally carries A in compressed-sparse-row form; the
+	// solver's Ax / Aᵀy matvecs then cost O(nnz) instead of O(mn).
+	ASparse *linalg.CSR
+	L       linalg.Vector // m, may contain -Inf
+	U       linalg.Vector // m, may contain +Inf
+	// Block, when non-nil, declares that (P, A) have the MPO horizon-block
+	// structure and unlocks SolveADMM's block-tridiagonal KKT path.
+	Block *MPOStructure
+}
+
+// MPOStructure declares the horizon-block structure of an MPO QP: the
+// decision vector stacks H period blocks of N variables; the Hessian is
+// block-tridiagonal with diagonal blocks RiskScale·Risk + ChurnK·dc(τ)·I
+// (dc(τ) = 2 on every period that has a successor, 1 on the terminal one)
+// and constant off-diagonal blocks −ChurnK·I; the constraint matrix stacks
+// the N·H identity (per-variable box rows) over H per-period sum rows.
+//
+// SolveADMM uses the declaration to eliminate the box rows from the
+// quasi-definite KKT system and factor the reduced matrix
+//
+//	K = P + σI + ρAᵀA = P + (σ+ρ)I + ρ·blockdiag(1·1ᵀ)
+//
+// block-tridiagonally: O(H·N³) factor and O(H·N²) per-iteration solve
+// instead of the dense O((NH+H)³) / O((NH+H)²).
+type MPOStructure struct {
+	N, H int
+	// Risk is the per-period risk matrix M (N×N dense, symmetric PSD).
+	Risk *linalg.Matrix
+	// RiskScale multiplies Risk inside each diagonal Hessian block (2α).
+	RiskScale float64
+	// ChurnK is twice the churn weight (2κ); zero decouples the periods.
+	ChurnK float64
 }
 
 // Validate checks dimensional consistency and bound sanity.
 func (p *Problem) Validate() error {
-	if p.P == nil || p.A == nil {
-		return errors.New("solver: nil P or A")
+	if p.P == nil && p.POp == nil {
+		return errors.New("solver: nil P")
+	}
+	if p.A == nil && p.ASparse == nil {
+		return errors.New("solver: nil A")
 	}
 	n := len(p.Q)
-	if p.P.Rows != n || p.P.Cols != n {
+	if p.P != nil && (p.P.Rows != n || p.P.Cols != n) {
 		return fmt.Errorf("solver: P is %dx%d, want %dx%d", p.P.Rows, p.P.Cols, n, n)
 	}
-	if p.A.Cols != n {
-		return fmt.Errorf("solver: A has %d cols, want %d", p.A.Cols, n)
+	if p.P == nil && p.POp.Dim() != n {
+		return fmt.Errorf("solver: P operator has dim %d, want %d", p.POp.Dim(), n)
 	}
-	m := p.A.Rows
+	if cols := p.aCols(); cols != n {
+		return fmt.Errorf("solver: A has %d cols, want %d", cols, n)
+	}
+	m := p.M()
 	if len(p.L) != m || len(p.U) != m {
 		return fmt.Errorf("solver: bounds have lengths %d/%d, want %d", len(p.L), len(p.U), m)
 	}
@@ -81,6 +126,20 @@ func (p *Problem) Validate() error {
 			return fmt.Errorf("solver: NaN bound at row %d", i)
 		}
 	}
+	if b := p.Block; b != nil {
+		if p.ASparse == nil {
+			return errors.New("solver: Block structure requires a sparse A")
+		}
+		if b.N <= 0 || b.H <= 0 || b.N*b.H != n {
+			return fmt.Errorf("solver: Block is %d×%d periods, want %d stacked variables", b.N, b.H, n)
+		}
+		if m != n+b.H {
+			return fmt.Errorf("solver: Block layout wants %d constraint rows, A has %d", n+b.H, m)
+		}
+		if b.Risk == nil || b.Risk.Rows != b.N || b.Risk.Cols != b.N {
+			return errors.New("solver: Block risk matrix missing or mis-shaped")
+		}
+	}
 	return nil
 }
 
@@ -88,16 +147,60 @@ func (p *Problem) Validate() error {
 func (p *Problem) N() int { return len(p.Q) }
 
 // M returns the number of constraint rows.
-func (p *Problem) M() int { return p.A.Rows }
+func (p *Problem) M() int {
+	if p.A != nil {
+		return p.A.Rows
+	}
+	return p.ASparse.Rows
+}
+
+func (p *Problem) aCols() int {
+	if p.A != nil {
+		return p.A.Cols
+	}
+	return p.ASparse.Cols
+}
+
+// mulA computes Ax into dst through whichever representation is present.
+func (p *Problem) mulA(x, dst linalg.Vector) {
+	if p.ASparse != nil {
+		p.ASparse.MulVec(x, dst)
+		return
+	}
+	p.A.MulVec(x, dst)
+}
+
+// mulAT computes Aᵀy into dst.
+func (p *Problem) mulAT(y, dst linalg.Vector) {
+	if p.ASparse != nil {
+		p.ASparse.MulVecT(y, dst)
+		return
+	}
+	p.A.MulVecT(y, dst)
+}
+
+// applyP computes Px into dst.
+func (p *Problem) applyP(x, dst linalg.Vector) {
+	if p.POp != nil {
+		p.POp.Apply(x, dst)
+		return
+	}
+	p.P.MulVec(x, dst)
+}
 
 // Objective evaluates ½xᵀPx + qᵀx.
 func (p *Problem) Objective(x linalg.Vector) float64 {
-	return 0.5*p.P.QuadForm(x) + p.Q.Dot(x)
+	if p.P != nil {
+		return 0.5*p.P.QuadForm(x) + p.Q.Dot(x)
+	}
+	px := linalg.NewVector(len(x))
+	p.POp.Apply(x, px)
+	return 0.5*x.Dot(px) + p.Q.Dot(x)
 }
 
 // Gradient writes Px + q into dst and returns it.
 func (p *Problem) Gradient(x, dst linalg.Vector) linalg.Vector {
-	p.P.MulVec(x, dst)
+	p.applyP(x, dst)
 	for i := range dst {
 		dst[i] += p.Q[i]
 	}
@@ -108,7 +211,7 @@ func (p *Problem) Gradient(x, dst linalg.Vector) linalg.Vector {
 // constraint band.
 func (p *Problem) PrimalInfeasibility(x linalg.Vector) float64 {
 	ax := linalg.NewVector(p.M())
-	p.A.MulVec(x, ax)
+	p.mulA(x, ax)
 	var worst float64
 	for i, v := range ax {
 		if d := p.L[i] - v; d > worst {

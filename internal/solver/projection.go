@@ -169,6 +169,15 @@ func (p *ProductSet) ProjectWith(pool *parallel.Pool, x linalg.Vector) {
 	if len(x) != p.total {
 		panic("solver: ProductSet Project dimension mismatch")
 	}
+	if pool.Workers() <= 1 {
+		// Serial fast path before the closure literal: projections run every
+		// solver iteration, and the escaping closure below would otherwise
+		// cost a heap allocation per call.
+		for k := range p.Blocks {
+			p.Blocks[k].Project(x[p.offs[k]:p.offs[k+1]])
+		}
+		return
+	}
 	pool.For(len(p.Blocks), 1, func(lo, hi int) {
 		for k := lo; k < hi; k++ {
 			p.Blocks[k].Project(x[p.offs[k]:p.offs[k+1]])

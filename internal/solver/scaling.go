@@ -228,6 +228,13 @@ func SolveADMMScaled(p *Problem, settings ADMMSettings) Result {
 	if err := p.Validate(); err != nil {
 		return Result{Status: StatusError}
 	}
+	if p.ASparse != nil || p.POp != nil {
+		// The Ruiz sweep reads and rewrites dense P/A entries; structured
+		// problems skip it entirely. They are assembled from already
+		// comparably-scaled model terms, and equilibrating would destroy the
+		// block structure the sparse KKT path factors.
+		return SolveADMM(p, settings)
+	}
 	var scaled *Problem
 	var sc *Scaling
 	reusedScaling := false

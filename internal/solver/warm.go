@@ -25,11 +25,13 @@ type WarmState struct {
 	// x seeds both solvers; z and y are ADMM-only (nil for FISTA).
 	x, z, y linalg.Vector
 
-	// Cached dense LDLᵀ factorization of the ADMM KKT matrix, valid only for
-	// the exact (P, A, σ, ρ) combination fingerprinted by factSig. Reused
-	// when the next problem hashes identically, which skips the O(dim³)
+	// Cached KKT engine of the ADMM x-update — a dense LDLᵀ of the full
+	// quasi-definite system, a block-tridiagonal factorization of the reduced
+	// MPO system, or a dense Cholesky of the reduced sparse-A system — valid
+	// only for the exact (P, A, σ, ρ) combination fingerprinted by factSig.
+	// Reused when the next problem hashes identically, which skips the
 	// refactorization — the dominant ADMM setup cost.
-	fact    *linalg.LDLFactor
+	fact    kktFactor
 	factSig uint64
 
 	// Cached Ruiz equilibration (SolveADMMScaled). Reapplying a previous
@@ -105,11 +107,13 @@ func (w *WarmState) ShiftHorizon(n int) {
 }
 
 // problemSig fingerprints the data the ADMM KKT factorization depends on:
-// the entries of P and A plus (σ, ρ) and the dimensions. FNV-1a over the
-// raw float bits — a value hash, not just a sparsity hash, so a cached
-// factorization is only ever reused when it is numerically exact for the new
-// problem. The O(n² + mn) pass is negligible next to the O((n+m)³) factor
-// it guards.
+// whatever representation of (P, A) the problem carries, plus (σ, ρ) and the
+// dimensions. FNV-1a over the raw float bits — a value hash, not just a
+// sparsity hash, so a cached factorization is only ever reused when it is
+// numerically exact for the new problem. Each KKT path mixes a distinct tag
+// so a dense factorization can never be mistaken for a structured one of the
+// same data (and vice versa). The hashing pass is linear in the problem data
+// and negligible next to the factorization it guards.
 func problemSig(p *Problem, sigma, rho float64) uint64 {
 	const (
 		offset64 = 14695981039346656037
@@ -122,15 +126,43 @@ func problemSig(p *Problem, sigma, rho float64) uint64 {
 			h *= prime64
 		}
 	}
+	mixFloats := func(vs []float64) {
+		for _, v := range vs {
+			mix(math.Float64bits(v))
+		}
+	}
+	mixCSR := func(c *linalg.CSR) {
+		for _, v := range c.RowPtr {
+			mix(uint64(v))
+		}
+		for _, v := range c.ColIdx {
+			mix(uint64(v))
+		}
+		mixFloats(c.Val)
+	}
 	mix(uint64(p.N()))
 	mix(uint64(p.M()))
 	mix(math.Float64bits(sigma))
 	mix(math.Float64bits(rho))
-	for _, v := range p.P.Data {
-		mix(math.Float64bits(v))
-	}
-	for _, v := range p.A.Data {
-		mix(math.Float64bits(v))
+	switch {
+	case p.Block != nil:
+		mix('B')
+		mix(uint64(p.Block.N))
+		mix(uint64(p.Block.H))
+		mix(math.Float64bits(p.Block.RiskScale))
+		mix(math.Float64bits(p.Block.ChurnK))
+		mixFloats(p.Block.Risk.Data)
+		mixCSR(p.ASparse)
+	case p.ASparse != nil:
+		mix('R')
+		if p.P != nil {
+			mixFloats(p.P.Data)
+		}
+		mixCSR(p.ASparse)
+	default:
+		mix('D')
+		mixFloats(p.P.Data)
+		mixFloats(p.A.Data)
 	}
 	return h
 }

@@ -1,0 +1,17 @@
+#!/bin/sh
+# bench_kkt.sh — dense-vs-sparse KKT backend benchmark for the MPO solver.
+#
+# Runs BenchmarkKKTDenseVsSparse (cold solve: build + factorization + ADMM to
+# convergence, with -benchmem so the dense-matrix materialization shows up in
+# the allocated-bytes column) and writes the go-test JSON stream to the file
+# named by $1 (default BENCH_kkt.json). The dense/sparse rows at the same
+# (n, h) solve the identical problem; their ns/op ratio is the structured
+# path's speedup.
+#
+# Requires: go. Exits nonzero if the benchmark fails.
+set -eu
+
+OUT="${1:-BENCH_kkt.json}"
+
+go test -run='^$' -bench=KKTDenseVsSparse -benchtime=1x -benchmem -json \
+    ./internal/portfolio/ | tee "$OUT"
