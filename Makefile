@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-warm bench-kkt fmt vet fuzz-smoke smoke chaos chaos-golden ci
+.PHONY: build test race bench bench-warm bench-kkt bench-lb bench-gate loadgen fmt vet fuzz-smoke smoke chaos chaos-golden ci
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,22 @@ bench-warm:
 # go-test JSON stream to BENCH_kkt.json — the DESIGN.md §10 numbers.
 bench-kkt:
 	sh scripts/bench_kkt.sh
+
+# bench-lb regenerates the LB data-plane baseline (gate benchmarks + loadgen
+# max-RPS) into BENCH_lb.json — run after an intentional data-plane change.
+bench-lb:
+	sh scripts/bench_lb.sh
+
+# bench-gate reruns the LB benchmarks and fails on a >20% ns/op regression
+# against the checked-in BENCH_lb.json (what CI's bench-gate job runs).
+bench-gate:
+	sh scripts/bench_lb.sh /tmp/BENCH_lb.current.json
+	$(GO) run ./scripts/benchdiff -baseline BENCH_lb.json -current /tmp/BENCH_lb.current.json -threshold 1.20
+
+# loadgen drives the closed-loop harness against the raw routing hot path —
+# the quick million-RPS sanity check.
+loadgen:
+	$(GO) run ./cmd/spotweb-load -mode route -backends 16 -sessions 1024 -duration 3s
 
 fmt:
 	@out=$$(gofmt -l .); \

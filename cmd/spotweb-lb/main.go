@@ -54,6 +54,7 @@ func main() {
 	revoke := flag.String("revoke", "", "comma-separated backend ids to revoke")
 	rate := flag.Float64("rate", 100, "assumed offered rate for the revocation decision")
 	highUtil := flag.Float64("high-util", 0.85, "utilization threshold of the §6.1 revocation decision")
+	admitRPS := flag.Float64("admit-rps", 0, "token-bucket admission limit on the LB hot path in req/s (0 = off)")
 	chaosScenario := flag.String("chaos-scenario", "", "chaos scenario to replay: a JSON file or a built-in name (empty = none)")
 	chaosDur := flag.Duration("chaos-duration", time.Minute, "wall-clock window the chaos scenario timeline is mapped onto")
 	chaosMarkets := flag.Int("chaos-markets", 3, "synthetic markets the backends are spread over for chaos targeting")
@@ -109,6 +110,7 @@ func main() {
 		Journal:        journal,
 		SLOTarget:      *slo,
 		HighUtil:       *highUtil,
+		AdmitRPS:       *admitRPS,
 		ActionOverride: override,
 	})
 	var ids []int

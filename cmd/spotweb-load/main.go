@@ -1,0 +1,99 @@
+// Command spotweb-load is the load-generation harness CLI: closed-loop
+// workers hammering one of three targets, reporting throughput and sampled
+// latency quantiles (optionally as JSON for the BENCH_lb trajectory).
+//
+// Modes:
+//
+//	route    — a raw lb.Balancer's Route hot path (the data-plane hop in
+//	           isolation; this is the million-RPS measurement)
+//	cluster  — an in-process testbed cluster's front end (handler dispatch
+//	           plus the LB→backend socket hop)
+//	url      — a live HTTP endpoint (e.g. a running spotwebd), used by
+//	           scripts/smoke.sh
+//
+// Usage:
+//
+//	spotweb-load -mode route -backends 16 -workers 16 -duration 5s -sessions 4096
+//	spotweb-load -mode url -url http://127.0.0.1:8080/ -duration 2s -json out.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/lb"
+	"repro/internal/loadgen"
+	"repro/internal/testbed"
+)
+
+func main() {
+	mode := flag.String("mode", "route", "target: route (raw data plane), cluster (in-process testbed), url (live endpoint)")
+	backends := flag.Int("backends", 16, "backends in the route/cluster target")
+	workers := flag.Int("workers", 0, "closed-loop workers (0 = 2×GOMAXPROCS)")
+	duration := flag.Duration("duration", 5*time.Second, "measurement window")
+	sessions := flag.Int("sessions", 0, "sticky session ids to cycle (0 = sessionless)")
+	admitRPS := flag.Float64("admit-rps", 0, "token-bucket admission limit on the route target (0 = off)")
+	sample := flag.Int("sample-every", 64, "latency sampling stride")
+	url := flag.String("url", "", "base URL for -mode url")
+	jsonOut := flag.String("json", "", "write the result JSON to this file (- = stdout)")
+	flag.Parse()
+
+	var target loadgen.Target
+	switch *mode {
+	case "route":
+		bal := lb.NewBalancer()
+		weights := make(map[int]float64, *backends)
+		for i := 0; i < *backends; i++ {
+			weights[i] = float64(1 + i%5)
+		}
+		bal.UpdatePortfolio(weights)
+		bal.SetAdmission(lb.NewTokenBucket(*admitRPS, 64))
+		target = loadgen.BalancerTarget(bal)
+	case "cluster":
+		cl := testbed.NewCluster(testbed.ClusterConfig{
+			Backend: testbed.BackendConfig{
+				BaseServiceTime: 100 * time.Microsecond,
+				QueueLimit:      4096,
+			},
+			Warning:  time.Second,
+			AdmitRPS: *admitRPS,
+		})
+		defer cl.Close()
+		for i := 0; i < *backends; i++ {
+			cl.AddBackend(1000)
+		}
+		target = loadgen.HandlerTarget(cl)
+	case "url":
+		if *url == "" {
+			log.Fatal("-mode url requires -url")
+		}
+		target = loadgen.URLTarget(*url, nil)
+	default:
+		log.Fatalf("unknown -mode %q", *mode)
+	}
+
+	res := loadgen.Run(loadgen.Config{
+		Workers:     *workers,
+		Duration:    *duration,
+		Sessions:    *sessions,
+		SampleEvery: *sample,
+	}, target)
+
+	fmt.Fprintf(os.Stderr, "spotweb-load mode=%s backends=%d: %s\n", *mode, *backends, res)
+	if *jsonOut != "" {
+		enc, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		enc = append(enc, '\n')
+		if *jsonOut == "-" {
+			os.Stdout.Write(enc)
+		} else if err := os.WriteFile(*jsonOut, enc, 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

@@ -60,6 +60,7 @@ func main() {
 	capScale := flag.Float64("cap-scale", 0.2, "scale factor for backend capacities (testbed-sized)")
 	warning := flag.Duration("warning", 5*time.Second, "revocation warning period")
 	highUtil := flag.Float64("high-util", 0.85, "utilization threshold of the §6.1 revocation decision")
+	admitRPS := flag.Float64("admit-rps", 0, "token-bucket admission limit on the LB hot path in req/s (0 = off)")
 	parallelism := flag.Int("parallelism", 0, "optimizer worker bound: 0/1 serial, n>1 up to n workers, <0 all cores")
 	warmStart := flag.Bool("warm-start", true, "seed each re-planning solve from the previous round's shifted solver state")
 	kktPath := flag.String("kkt", "auto", "ADMM KKT backend: auto (size-based), dense, or sparse (structure-exploiting)")
@@ -134,6 +135,7 @@ func main() {
 		Journal:        journal,
 		SLOTarget:      *slo,
 		HighUtil:       *highUtil,
+		AdmitRPS:       *admitRPS,
 		ActionOverride: override,
 	})
 

@@ -1,0 +1,63 @@
+package lb
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// TokenBucket is a lock-free request-rate limiter for hot-path admission
+// control. It implements the Generic Cell Rate Algorithm (GCRA), the
+// virtual-scheduling formulation of a token bucket: the whole bucket state
+// is one atomic nanosecond timestamp (the Theoretical Arrival Time), so an
+// admission decision is one clock read plus one CAS — no mutex, no per-tick
+// refill goroutine. A nil *TokenBucket admits everything at zero cost.
+//
+// The §6.1 admission-control action protects surviving servers by shedding
+// the excess when revoked capacity cannot be replaced in time; the bucket
+// is the mechanism that makes "the excess" a precise, enforced rate.
+type TokenBucket struct {
+	inc   int64        // nanoseconds per token (1e9 / rate)
+	limit int64        // burst allowance in nanoseconds ((burst-1) * inc)
+	tat   atomic.Int64 // theoretical arrival time, ns since epoch
+}
+
+// NewTokenBucket returns a bucket admitting ratePerSec requests per second
+// with the given burst (≥1: how many requests may arrive back-to-back
+// before pacing kicks in). ratePerSec ≤ 0 returns nil — the "no admission
+// control" limiter.
+func NewTokenBucket(ratePerSec float64, burst int) *TokenBucket {
+	if ratePerSec <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	inc := int64(float64(time.Second) / ratePerSec)
+	if inc < 1 {
+		inc = 1
+	}
+	return &TokenBucket{inc: inc, limit: int64(burst-1) * inc}
+}
+
+// Allow reports whether one request may pass now. Safe for concurrent use;
+// lock-free (a failed CAS means another request was admitted concurrently —
+// retry against the new state).
+func (b *TokenBucket) Allow() bool {
+	if b == nil {
+		return true
+	}
+	for {
+		now := time.Now().UnixNano()
+		tat := b.tat.Load()
+		newTat := tat
+		if now > newTat {
+			newTat = now
+		}
+		if newTat-now > b.limit {
+			return false
+		}
+		if b.tat.CompareAndSwap(tat, newTat+b.inc) {
+			return true
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package lb
+
+// Tests for the GCRA token bucket backing the §6.1 admission-control action.
+// Timing-sensitive assertions use generous margins so they hold on loaded CI
+// machines.
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestTokenBucketNilAdmitsEverything(t *testing.T) {
+	var b *TokenBucket
+	for i := 0; i < 100; i++ {
+		if !b.Allow() {
+			t.Fatal("nil bucket rejected a request")
+		}
+	}
+	if NewTokenBucket(0, 10) != nil {
+		t.Fatal("zero rate should return the nil bucket")
+	}
+	if NewTokenBucket(-5, 10) != nil {
+		t.Fatal("negative rate should return the nil bucket")
+	}
+}
+
+// TestTokenBucketBurstThenRejects: with rate 50/s (20ms per token) and burst
+// 10, the first 10 back-to-back requests pass and the 11th is rejected —
+// provided the loop runs far faster than one token interval, which a 20ms
+// interval guarantees even on slow CI.
+func TestTokenBucketBurstThenRejects(t *testing.T) {
+	b := NewTokenBucket(50, 10)
+	start := time.Now()
+	allowed := 0
+	for i := 0; i < 20; i++ {
+		if b.Allow() {
+			allowed++
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Millisecond {
+		t.Skipf("loop took %v, too slow to assert burst precisely", elapsed)
+	}
+	if allowed != 10 {
+		t.Fatalf("allowed %d of a 10-burst, want exactly 10", allowed)
+	}
+}
+
+// TestTokenBucketRefills: after the bucket is drained, waiting ~5 token
+// intervals admits more requests again.
+func TestTokenBucketRefills(t *testing.T) {
+	b := NewTokenBucket(1000, 5) // 1ms per token
+	for b.Allow() {
+	}
+	time.Sleep(20 * time.Millisecond) // ≥ 5 token intervals: full burst back
+	allowed := 0
+	for i := 0; i < 10 && b.Allow(); i++ {
+		allowed++
+	}
+	if allowed < 2 {
+		t.Fatalf("only %d admitted after a 20ms refill window", allowed)
+	}
+}
+
+func TestTokenBucketMinimumBurst(t *testing.T) {
+	b := NewTokenBucket(10, 0) // clamped to burst 1
+	if !b.Allow() {
+		t.Fatal("first request must pass at burst 1")
+	}
+	if b.Allow() {
+		t.Fatal("second back-to-back request must be paced at burst 1")
+	}
+}
+
+// TestConcurrentTokenBucketBound hammers Allow from many goroutines and
+// checks the aggregate admitted count respects burst + rate·elapsed with
+// slack — the CAS loop must not over-admit under contention.
+func TestConcurrentTokenBucketBound(t *testing.T) {
+	const (
+		rate  = 2000.0
+		burst = 100
+	)
+	b := NewTokenBucket(rate, burst)
+	var admitted atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(200 * time.Millisecond)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				if b.Allow() {
+					admitted.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	max := float64(burst) + rate*elapsed*1.25 // 25% slack for timer jitter
+	if got := float64(admitted.Load()); got > max {
+		t.Fatalf("admitted %.0f requests in %.3fs, bound %.0f", got, elapsed, max)
+	}
+	if admitted.Load() < burst {
+		t.Fatalf("admitted %d, expected at least the %d burst", admitted.Load(), burst)
+	}
+}

@@ -1,0 +1,63 @@
+package lb
+
+import "repro/internal/metrics"
+
+// routeStats is the data plane's batched per-route accounting. The hot path
+// writes one cache-line-padded stripe cell per event (metrics.Striped — the
+// same idiom the registry's counters use, but with no registry indirection
+// and no monotonicity branch); the registry pulls the folded sums at scrape
+// time via CounterFunc. Between scrapes the per-route costs are exactly one
+// striped add — the flush to the registry happens in batch, for free, on
+// the scrape path. A nil *routeStats (metrics disabled) no-ops every method
+// through the nil-receiver Striped contract.
+type routeStats struct {
+	ok        *metrics.Striped // routed to a backend
+	sticky    *metrics.Striped // of those, served by an existing session binding
+	dropped   *metrics.Striped // no routable backend
+	admission *metrics.Striped // rejected by the token bucket
+}
+
+// newRouteStats allocates the stripe cells and registers the pull-time
+// series.
+func newRouteStats(r *metrics.Registry) *routeStats {
+	if r == nil {
+		return nil
+	}
+	s := &routeStats{
+		ok:        metrics.NewStriped(),
+		sticky:    metrics.NewStriped(),
+		dropped:   metrics.NewStriped(),
+		admission: metrics.NewStriped(),
+	}
+	const help = "Routing decisions by the LB data plane."
+	r.CounterFunc("spotweb_lb_route_total", help, s.ok.Sum, metrics.L("result", "ok"))
+	r.CounterFunc("spotweb_lb_route_total", help, s.dropped.Sum, metrics.L("result", "dropped"))
+	r.CounterFunc("spotweb_lb_route_total", help, s.admission.Sum, metrics.L("result", "admission_rejected"))
+	r.CounterFunc("spotweb_lb_sticky_hits_total",
+		"Requests routed to their existing session binding.", s.sticky.Sum)
+	return s
+}
+
+func (s *routeStats) routed(stickyHit bool) {
+	if s == nil {
+		return
+	}
+	s.ok.Add(1)
+	if stickyHit {
+		s.sticky.Add(1)
+	}
+}
+
+func (s *routeStats) drop() {
+	if s == nil {
+		return
+	}
+	s.dropped.Add(1)
+}
+
+func (s *routeStats) admissionReject() {
+	if s == nil {
+		return
+	}
+	s.admission.Add(1)
+}

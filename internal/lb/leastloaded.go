@@ -3,6 +3,9 @@ package lb
 import (
 	"math"
 	"sync"
+	"sync/atomic"
+
+	"repro/internal/metrics"
 )
 
 // LeastLoaded is a heterogeneity-aware least-utilization scheduler in the
@@ -11,17 +14,38 @@ import (
 // outstanding requests, and each pick goes to the backend with the lowest
 // outstanding/capacity ratio. Compared to WRR it adapts to in-flight load
 // imbalance (slow backends accumulate outstanding work and stop receiving),
-// at the price of requiring completion callbacks. It is safe for concurrent
-// use.
+// at the price of requiring completion callbacks.
+//
+// The data plane is lock-free: the capacity set lives in an immutable
+// epoch-swapped table (SetCapacity/Remove rebuild and publish it), and each
+// backend's in-flight count is a cache-line-padded striped cell array
+// (metrics.Striped), so Acquire/Release from different goroutines touch
+// disjoint cache lines. Under concurrency two Acquires may read the same
+// scores and pick the same backend — a one-request approximation that is
+// the standard price of scalable least-loaded scheduling; sequential use is
+// exactly the serial argmin. It is safe for concurrent use.
 type LeastLoaded struct {
-	mu       sync.Mutex
-	capacity map[int]float64
-	inflight map[int]int
+	mu  sync.Mutex // serializes mutations; never held by Acquire/Release
+	tbl atomic.Pointer[llTable]
 }
+
+// llTable is the immutable backend set. inflight cells persist across
+// republishes for retained backends (counts survive capacity updates);
+// removal discards them.
+type llTable struct {
+	ids      []int // ascending
+	caps     []float64
+	inflight []*metrics.Striped
+	byID     map[int]int
+}
+
+var emptyLLTable = &llTable{byID: map[int]int{}}
 
 // NewLeastLoaded returns an empty scheduler.
 func NewLeastLoaded() *LeastLoaded {
-	return &LeastLoaded{capacity: map[int]float64{}, inflight: map[int]int{}}
+	l := &LeastLoaded{}
+	l.tbl.Store(emptyLLTable)
+	return l
 }
 
 // SetCapacity registers or updates a backend.
@@ -31,56 +55,109 @@ func (l *LeastLoaded) SetCapacity(id int, capacity float64) {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.capacity[id] = capacity
+	old := l.tbl.Load()
+	if i, ok := old.byID[id]; ok && old.caps[i] == capacity {
+		return
+	}
+	l.tbl.Store(old.with(id, capacity))
+}
+
+// with returns a copy of the table with id's capacity set (keeping its
+// in-flight cells) or the backend added.
+func (t *llTable) with(id int, capacity float64) *llTable {
+	n := &llTable{byID: make(map[int]int, len(t.ids)+1)}
+	added := false
+	for i, bid := range t.ids {
+		if !added && id < bid {
+			n.appendRow(id, capacity, metrics.NewStriped())
+			added = true
+		}
+		if bid == id {
+			n.appendRow(bid, capacity, t.inflight[i])
+			added = true
+			continue
+		}
+		n.appendRow(bid, t.caps[i], t.inflight[i])
+	}
+	if !added {
+		n.appendRow(id, capacity, metrics.NewStriped())
+	}
+	return n
+}
+
+func (t *llTable) appendRow(id int, capacity float64, cells *metrics.Striped) {
+	t.byID[id] = len(t.ids)
+	t.ids = append(t.ids, id)
+	t.caps = append(t.caps, capacity)
+	t.inflight = append(t.inflight, cells)
 }
 
 // Remove deletes a backend; outstanding counts for it are discarded.
 func (l *LeastLoaded) Remove(id int) bool {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if _, ok := l.capacity[id]; !ok {
+	old := l.tbl.Load()
+	if _, ok := old.byID[id]; !ok {
 		return false
 	}
-	delete(l.capacity, id)
-	delete(l.inflight, id)
+	n := &llTable{byID: make(map[int]int, len(old.ids)-1)}
+	for i, bid := range old.ids {
+		if bid == id {
+			continue
+		}
+		n.appendRow(bid, old.caps[i], old.inflight[i])
+	}
+	l.tbl.Store(n)
 	return true
 }
 
 // Acquire picks the backend with the lowest utilization proxy and increments
-// its outstanding count. Call Release when the request completes.
+// its outstanding count. Call Release when the request completes. Lock-free.
 func (l *LeastLoaded) Acquire() (id int, ok bool) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	t := l.tbl.Load()
 	best := -1
 	bestScore := math.Inf(1)
-	for b, cap := range l.capacity {
+	for i, cap := range t.caps {
 		if cap <= 0 {
 			continue
 		}
-		score := float64(l.inflight[b]+1) / cap
-		if score < bestScore || (score == bestScore && b < best) {
-			best, bestScore = b, score
+		score := float64(t.inflight[i].Sum()+1) / cap
+		if score < bestScore {
+			best, bestScore = i, score
 		}
 	}
 	if best < 0 {
 		return 0, false
 	}
-	l.inflight[best]++
-	return best, true
+	t.inflight[best].Add(1)
+	return t.ids[best], true
 }
 
-// Release marks one request on the backend as complete.
+// Release marks one request on the backend as complete. Lock-free; a
+// release never drives the folded count below zero in sequential use, and
+// Outstanding clamps the (briefly possible under racing unpaired releases)
+// negative fold to zero.
 func (l *LeastLoaded) Release(id int) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.inflight[id] > 0 {
-		l.inflight[id]--
+	t := l.tbl.Load()
+	i, ok := t.byID[id]
+	if !ok {
+		return
+	}
+	if t.inflight[i].Sum() > 0 {
+		t.inflight[i].Add(-1)
 	}
 }
 
 // Outstanding returns the current in-flight count for a backend.
 func (l *LeastLoaded) Outstanding(id int) int {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.inflight[id]
+	t := l.tbl.Load()
+	i, ok := t.byID[id]
+	if !ok {
+		return 0
+	}
+	n := t.inflight[i].Sum()
+	if n < 0 {
+		return 0
+	}
+	return int(n)
 }

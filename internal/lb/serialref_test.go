@@ -1,0 +1,206 @@
+package lb
+
+// The mutex-serialized reference implementation: a faithful copy of the
+// pre-sharding data plane (one lock around the smooth-WRR state, one around
+// the session map, per-Route drain-set snapshots). It exists for two
+// purposes: the equivalence suite asserts the lock-free data plane routes
+// identically, and the contended benchmarks pin the speedup the refactor
+// bought (BenchmarkRouteContended/serial vs /sharded in BENCH_lb.json).
+
+import (
+	"fmt"
+	"sync"
+)
+
+type serialEntry struct {
+	id      int
+	weight  float64
+	current float64
+}
+
+// serialWRR is the original mutex-per-pick smooth WRR.
+type serialWRR struct {
+	mu      sync.Mutex
+	entries []*serialEntry
+}
+
+func (w *serialWRR) SetWeight(id int, weight float64) {
+	if weight < 0 {
+		panic(fmt.Sprintf("lb: negative weight %v for backend %d", weight, id))
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, e := range w.entries {
+		if e.id == id {
+			e.weight = weight
+			return
+		}
+	}
+	w.entries = append(w.entries, &serialEntry{id: id, weight: weight})
+}
+
+func (w *serialWRR) Remove(id int) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for i, e := range w.entries {
+		if e.id == id {
+			w.entries = append(w.entries[:i], w.entries[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+func (w *serialWRR) Next() (int, bool) { return w.NextExcluding(nil) }
+
+func (w *serialWRR) NextExcluding(exclude map[int]bool) (int, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var total float64
+	var best *serialEntry
+	for _, e := range w.entries {
+		if e.weight <= 0 || exclude[e.id] {
+			continue
+		}
+		e.current += e.weight
+		total += e.weight
+		if best == nil || e.current > best.current {
+			best = e
+		}
+	}
+	if best == nil {
+		return 0, false
+	}
+	best.current -= total
+	return best.id, true
+}
+
+func (w *serialWRR) Has(id int) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, e := range w.entries {
+		if e.id == id {
+			return true
+		}
+	}
+	return false
+}
+
+// serialSessions is the original single-mutex session table.
+type serialSessions struct {
+	mu sync.Mutex
+	m  map[string]int
+}
+
+func newSerialSessions() *serialSessions { return &serialSessions{m: make(map[string]int)} }
+
+func (t *serialSessions) Assign(s string, b int) {
+	t.mu.Lock()
+	t.m[s] = b
+	t.mu.Unlock()
+}
+
+func (t *serialSessions) Lookup(s string) (int, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b, ok := t.m[s]
+	return b, ok
+}
+
+func (t *serialSessions) End(s string) {
+	t.mu.Lock()
+	delete(t.m, s)
+	t.mu.Unlock()
+}
+
+func (t *serialSessions) CountOn(backend int) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, b := range t.m {
+		if b == backend {
+			n++
+		}
+	}
+	return n
+}
+
+// serialRouter reproduces the original Balancer.Route: a mutex-guarded
+// drain-set snapshot (two map copies) per request, then mutex-serialized
+// WRR and session-table hops.
+type serialRouter struct {
+	wrr      *serialWRR
+	sessions *serialSessions
+	vanilla  bool
+
+	mu       sync.Mutex
+	draining map[int]bool
+	soft     map[int]bool
+}
+
+func newSerialRouter() *serialRouter {
+	return &serialRouter{
+		wrr:      &serialWRR{},
+		sessions: newSerialSessions(),
+		draining: make(map[int]bool),
+		soft:     make(map[int]bool),
+	}
+}
+
+func (r *serialRouter) setDrain(id int, hard bool) {
+	r.mu.Lock()
+	if hard {
+		r.draining[id] = true
+	} else {
+		r.soft[id] = true
+	}
+	r.mu.Unlock()
+}
+
+func (r *serialRouter) Route(session string) (int, bool) {
+	for attempt := 0; attempt < 4; attempt++ {
+		r.mu.Lock()
+		hard := make(map[int]bool, len(r.draining))
+		for k := range r.draining {
+			hard[k] = true
+		}
+		full := make(map[int]bool, len(r.draining)+len(r.soft))
+		for k := range r.draining {
+			full[k] = true
+		}
+		for k := range r.soft {
+			full[k] = true
+		}
+		r.mu.Unlock()
+
+		if session != "" {
+			if cur, found := r.sessions.Lookup(session); found {
+				if r.vanilla || (!hard[cur] && r.wrr.Has(cur)) {
+					return cur, true
+				}
+			}
+		}
+		var id int
+		var found bool
+		switch {
+		case r.vanilla:
+			id, found = r.wrr.Next()
+		case session != "":
+			id, found = r.wrr.NextExcluding(full)
+		default:
+			id, found = r.wrr.NextExcluding(hard)
+		}
+		if !found {
+			return 0, false
+		}
+		if session == "" {
+			return id, true
+		}
+		r.sessions.Assign(session, id)
+		if r.vanilla || r.wrr.Has(id) {
+			return id, true
+		}
+		r.sessions.End(session)
+	}
+	return 0, false
+}

@@ -1,0 +1,148 @@
+package lb
+
+import "sync"
+
+// sessionShardCount partitions the session table. 64 shards keeps the
+// per-shard lock hold times tiny and lets Assign/Lookup/End from distinct
+// goroutines proceed in parallel with high probability; a power of two so
+// the hash fold is a mask.
+const sessionShardCount = 64
+
+// sessionShard is one hash partition: its own lock, its own map, padded so
+// adjacent shards' locks don't false-share a cache line. (A sync.Map was
+// measured here and lost: its interface-keyed probe costs more than the
+// string-specialized map plus an uncontended RWMutex round trip.)
+type sessionShard struct {
+	mu sync.RWMutex
+	m  map[string]int
+	_  [24]byte
+}
+
+// SessionTable tracks sticky user sessions → backend assignments and
+// supports the bulk migration the transiency-aware LB performs during the
+// warning period. It is hash-sharded: operations on different sessions
+// contend only when they land on the same of 64 partitions, so the
+// session-routing hot path scales with cores instead of serializing on one
+// table lock. It is safe for concurrent use.
+type SessionTable struct {
+	shards [sessionShardCount]sessionShard
+}
+
+// NewSessionTable returns an empty table.
+func NewSessionTable() *SessionTable {
+	t := &SessionTable{}
+	for i := range t.shards {
+		t.shards[i].m = make(map[string]int)
+	}
+	return t
+}
+
+// shardOf hashes a session id (FNV-1a) onto its partition.
+func (t *SessionTable) shardOf(session string) *sessionShard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(session); i++ {
+		h ^= uint64(session[i])
+		h *= prime64
+	}
+	// Fold the high bits in so short keys spread across all shards.
+	return &t.shards[(h^h>>32)&(sessionShardCount-1)]
+}
+
+// Assign binds a session to a backend.
+func (t *SessionTable) Assign(session string, backend int) {
+	sh := t.shardOf(session)
+	sh.mu.Lock()
+	sh.m[session] = backend
+	sh.mu.Unlock()
+}
+
+// Lookup returns the backend a session is bound to.
+func (t *SessionTable) Lookup(session string) (int, bool) {
+	sh := t.shardOf(session)
+	sh.mu.RLock()
+	b, ok := sh.m[session]
+	sh.mu.RUnlock()
+	return b, ok
+}
+
+// End removes a session.
+func (t *SessionTable) End(session string) {
+	sh := t.shardOf(session)
+	sh.mu.Lock()
+	delete(sh.m, session)
+	sh.mu.Unlock()
+}
+
+// Len returns the number of live sessions.
+func (t *SessionTable) Len() int {
+	n := 0
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// CountOn returns the number of sessions bound to a backend.
+func (t *SessionTable) CountOn(backend int) int {
+	n := 0
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.RLock()
+		for _, b := range sh.m {
+			if b == backend {
+				n++
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// MigrateAll rebinds every session on `from` using pick to choose new
+// backends; sessions for which pick fails stay put (they will be dropped at
+// termination). Returns the number migrated.
+//
+// pick is invoked with NO table lock held (snapshot-then-commit): each
+// shard's victims are collected under a read lock, pick chooses targets
+// lock-free, and each rebind re-checks the session is still on `from`
+// before committing under the shard's write lock. The serial predecessor
+// called pick while holding the whole-table mutex, so a pick that touched
+// the balancer (e.g. load-aware placement reading session counts) was one
+// re-entrant call away from self-deadlock and ordered the table lock under
+// Balancer.migMu — a latent lock-ordering hazard this structure eliminates:
+// pick may now freely Lookup/Assign/CountOn.
+func (t *SessionTable) MigrateAll(from int, pick func() (int, bool)) int {
+	migrated := 0
+	var victims []string
+	for i := range t.shards {
+		sh := &t.shards[i]
+		victims = victims[:0]
+		sh.mu.RLock()
+		for s, b := range sh.m {
+			if b == from {
+				victims = append(victims, s)
+			}
+		}
+		sh.mu.RUnlock()
+		for _, s := range victims {
+			nb, ok := pick()
+			if !ok || nb == from {
+				continue
+			}
+			sh.mu.Lock()
+			if sh.m[s] == from {
+				sh.m[s] = nb
+				migrated++
+			}
+			sh.mu.Unlock()
+		}
+	}
+	return migrated
+}

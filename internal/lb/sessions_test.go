@@ -1,0 +1,185 @@
+package lb
+
+// Tests for the hash-sharded session table: API semantics, shard spreading,
+// the snapshot-then-commit migration (pick invoked lock-free — the property
+// that removed the serial table's lock-ordering hazard), and concurrent
+// correctness under the race detector.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestSessionTableBasics(t *testing.T) {
+	tab := NewSessionTable()
+	if tab.Len() != 0 {
+		t.Fatalf("fresh table Len = %d", tab.Len())
+	}
+	tab.Assign("alice", 1)
+	tab.Assign("bob", 2)
+	tab.Assign("alice", 3) // rebind
+	if b, ok := tab.Lookup("alice"); !ok || b != 3 {
+		t.Fatalf("alice → (%d,%v), want (3,true)", b, ok)
+	}
+	if tab.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tab.Len())
+	}
+	if tab.CountOn(3) != 1 || tab.CountOn(2) != 1 || tab.CountOn(1) != 0 {
+		t.Fatalf("CountOn mismatch: on3=%d on2=%d on1=%d", tab.CountOn(3), tab.CountOn(2), tab.CountOn(1))
+	}
+	tab.End("alice")
+	if _, ok := tab.Lookup("alice"); ok {
+		t.Fatal("alice still bound after End")
+	}
+	tab.End("ghost") // no-op
+	if tab.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tab.Len())
+	}
+}
+
+// TestSessionTableShardSpread sanity-checks the FNV fold: realistic session
+// ids must not pile onto a handful of partitions, or the sharding buys no
+// parallelism.
+func TestSessionTableShardSpread(t *testing.T) {
+	tab := NewSessionTable()
+	for i := 0; i < 2048; i++ {
+		tab.Assign(fmt.Sprintf("session-%d", i), 1)
+	}
+	occupied := 0
+	for i := range tab.shards {
+		if len(tab.shards[i].m) > 0 {
+			occupied++
+		}
+	}
+	if occupied < sessionShardCount/2 {
+		t.Fatalf("2048 sessions occupy only %d of %d shards", occupied, sessionShardCount)
+	}
+}
+
+// TestMigrateAllPickIsLockFree proves the satellite fix: pick may call back
+// into the session table. The serial predecessor held the whole-table mutex
+// across pick, so this exact callback — a load-aware picker reading
+// CountOn and Lookup — would self-deadlock; here it must simply work.
+func TestMigrateAllPickIsLockFree(t *testing.T) {
+	tab := NewSessionTable()
+	for i := 0; i < 100; i++ {
+		tab.Assign(fmt.Sprintf("s%d", i), 1)
+	}
+	for i := 0; i < 50; i++ {
+		tab.Assign(fmt.Sprintf("other%d", i), 2)
+	}
+	migrated := tab.MigrateAll(1, func() (int, bool) {
+		// Re-entrant reads AND a write against the table being migrated.
+		tab.Lookup("s0")
+		tab.Assign("pick-scratch", 4)
+		if tab.CountOn(2) < tab.CountOn(3) {
+			return 2, true
+		}
+		return 3, true
+	})
+	if migrated != 100 {
+		t.Fatalf("migrated %d, want 100", migrated)
+	}
+	if n := tab.CountOn(1); n != 0 {
+		t.Fatalf("%d sessions left on source", n)
+	}
+	if got := tab.CountOn(2) + tab.CountOn(3); got != 150 {
+		t.Fatalf("sessions on targets = %d, want 150", got)
+	}
+}
+
+// TestMigrateAllSkipsConcurrentlyMovedSessions: the commit step re-checks
+// the binding. A pick that itself Ends the remaining victims (simulating a
+// concurrent unbind between snapshot and commit) must cause those commits to
+// be skipped, not resurrect the sessions.
+func TestMigrateAllSkipsConcurrentlyMovedSessions(t *testing.T) {
+	tab := NewSessionTable()
+	tab.Assign("a", 1)
+	tab.Assign("b", 1)
+	tab.Assign("c", 1)
+	first := true
+	migrated := tab.MigrateAll(1, func() (int, bool) {
+		if first {
+			first = false
+			// Yank every victim out from under the migration.
+			tab.End("a")
+			tab.End("b")
+			tab.End("c")
+		}
+		return 2, true
+	})
+	if migrated != 0 {
+		t.Fatalf("migrated %d sessions that were concurrently ended", migrated)
+	}
+	if tab.Len() != 0 {
+		t.Fatalf("Len = %d after all sessions ended, want 0", tab.Len())
+	}
+}
+
+// TestMigrateAllPickFailureLeavesSessionsPut: pick returning ok=false (or
+// the source itself) leaves the binding alone.
+func TestMigrateAllPickFailureLeavesSessionsPut(t *testing.T) {
+	tab := NewSessionTable()
+	tab.Assign("a", 1)
+	tab.Assign("b", 1)
+	if n := tab.MigrateAll(1, func() (int, bool) { return 0, false }); n != 0 {
+		t.Fatalf("migrated %d with failing pick", n)
+	}
+	if n := tab.MigrateAll(1, func() (int, bool) { return 1, true }); n != 0 {
+		t.Fatalf("migrated %d with pick returning the source", n)
+	}
+	if tab.CountOn(1) != 2 {
+		t.Fatalf("CountOn(1) = %d, want 2", tab.CountOn(1))
+	}
+}
+
+// TestConcurrentSessionTableChurn hammers all table operations — including
+// two racing MigrateAll calls whose picks read back into the table — from
+// many goroutines. Run under -race this is the session-shard correctness
+// proof; the final invariant is that nothing remains on the migrated-off
+// backend once the dust settles.
+func TestConcurrentSessionTableChurn(t *testing.T) {
+	tab := NewSessionTable()
+	const workers = 8
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				s := fmt.Sprintf("w%d-%d", g, i%100)
+				switch i % 4 {
+				case 0:
+					tab.Assign(s, g%4)
+				case 1:
+					tab.Lookup(s)
+				case 2:
+					tab.End(s)
+				default:
+					tab.CountOn(g % 4)
+				}
+			}
+		}(g)
+	}
+	for m := 0; m < 2; m++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				tab.MigrateAll(0, func() (int, bool) {
+					if tab.CountOn(1) <= tab.CountOn(2) {
+						return 1, true
+					}
+					return 2, true
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	// Quiesced: one final migration must fully clear backend 0.
+	tab.MigrateAll(0, func() (int, bool) { return 1, true })
+	if n := tab.CountOn(0); n != 0 {
+		t.Fatalf("%d sessions remain on backend 0 after final migration", n)
+	}
+}

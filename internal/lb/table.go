@@ -1,0 +1,228 @@
+package lb
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// This file holds the immutable routing table the lock-free data plane reads.
+//
+// The design is RCU-style epoch swapping: every mutation (planner weight
+// update, drain mark, backend removal) rebuilds an immutable rtable and
+// publishes it with a single atomic.Pointer store. Readers load the pointer
+// once per pick and never synchronize with writers — a Route in flight keeps
+// using the table it loaded (safe: tables are never mutated after publish,
+// and Go's GC is the epoch reclamation), while every pick that *begins*
+// after the publish returns sees the new table. Tables carry a generation
+// number so tests can assert exactly that.
+//
+// Smooth weighted round robin is inherently stateful (each pick mutates the
+// per-backend score), which is why the serial implementation needed a mutex.
+// The lock-free form precomputes the smooth-WRR pick order for one full
+// cycle at publish time (weights are fixed within a table's lifetime, so the
+// sequence is, too) and replaces the per-pick state with a single shared
+// atomic cursor: pick k returns seq[k mod len(seq)]. Distribution and
+// smoothness are those of the serial scheduler; the only cost is a bounded
+// quantization of float weights into the integer cycle.
+
+// maxSeqLen bounds one precomputed smooth-WRR cycle. Weight sets whose exact
+// integer ratios would need a longer cycle are quantized to quantBudget
+// slots (≤0.05% share error — invisible next to real load noise).
+const (
+	maxSeqLen   = 4096
+	quantBudget = 2048
+)
+
+// rentry is one backend's row in the immutable table.
+type rentry struct {
+	id     int
+	weight float64
+	// hard marks a hard-draining backend: out of every non-vanilla
+	// rotation. soft marks a soft-draining one (§4.4 high-utilization
+	// case): it keeps serving existing sessions and sessionless traffic
+	// but takes no new session bindings.
+	hard, soft bool
+}
+
+// rtable is the immutable routing table. All fields are read-only after
+// build; readers hold it only as long as one pick.
+type rtable struct {
+	gen  uint64
+	ents []rentry    // ascending id; includes zero-weight and draining rows
+	byID map[int]int // id → index into ents
+
+	// dense is the sticky hot path's id-indexed registration/drain state
+	// (stateLive/Soft/Hard, 0 = unregistered), built whenever every id fits
+	// under denseLimit — an array index instead of a map probe on each
+	// sticky route. Nil for sparse id spaces; readers then fall back to byID.
+	dense []uint8
+
+	// Precomputed smooth-WRR cycles over three routability views:
+	//   seqAll  — every weight>0 backend (vanilla mode / Next)
+	//   seqLive — excluding hard-draining (anonymous traffic)
+	//   seqOpen — excluding hard- and soft-draining (new session bindings)
+	seqAll, seqLive, seqOpen []int
+}
+
+// denseLimit bounds the id-indexed state array (4 KB worst case per table).
+const denseLimit = 4096
+
+// dense-state codes.
+const (
+	stateLive uint8 = 1 + iota
+	stateSoft
+	stateHard
+)
+
+// emptyTable is the pre-publish state so readers never nil-check.
+var emptyTable = &rtable{byID: map[int]int{}}
+
+// lookup returns the entry for id.
+func (t *rtable) lookup(id int) (rentry, bool) {
+	i, ok := t.byID[id]
+	if !ok {
+		return rentry{}, false
+	}
+	return t.ents[i], true
+}
+
+// buildTable constructs an immutable table (ents must be ascending by id;
+// ownership transfers to the table).
+func buildTable(gen uint64, ents []rentry) *rtable {
+	t := &rtable{gen: gen, ents: ents, byID: make(map[int]int, len(ents))}
+	maxID := -1
+	for i, e := range ents {
+		t.byID[e.id] = i
+		if e.id < 0 || e.id >= denseLimit {
+			maxID = denseLimit // force the sparse path
+		} else if e.id > maxID && maxID < denseLimit {
+			maxID = e.id
+		}
+	}
+	if len(ents) > 0 && maxID < denseLimit {
+		t.dense = make([]uint8, maxID+1)
+		for _, e := range ents {
+			switch {
+			case e.hard:
+				t.dense[e.id] = stateHard
+			case e.soft:
+				t.dense[e.id] = stateSoft
+			default:
+				t.dense[e.id] = stateLive
+			}
+		}
+	}
+	t.seqAll = buildSeq(ents, func(e rentry) bool { return true })
+	t.seqLive = buildSeq(ents, func(e rentry) bool { return !e.hard })
+	t.seqOpen = buildSeq(ents, func(e rentry) bool { return !e.hard && !e.soft })
+	return t
+}
+
+// buildSeq runs the serial smooth-WRR algorithm over the included
+// positive-weight entries for one full integer-weight cycle and records the
+// pick order. Ties break toward the lowest id (entries are ascending), the
+// same order the serial scheduler's first-strictly-greater scan produces
+// for ascending insertion.
+func buildSeq(ents []rentry, include func(rentry) bool) []int {
+	var ids []int
+	var ws []float64
+	for _, e := range ents {
+		if e.weight > 0 && include(e) {
+			ids = append(ids, e.id)
+			ws = append(ws, e.weight)
+		}
+	}
+	if len(ids) == 0 {
+		return nil
+	}
+	iw := quantizeWeights(ws)
+	total := 0
+	for _, w := range iw {
+		total += w
+	}
+	cur := make([]int, len(ids))
+	seq := make([]int, 0, total)
+	for s := 0; s < total; s++ {
+		best := -1
+		for i := range ids {
+			cur[i] += iw[i]
+			if best < 0 || cur[i] > cur[best] {
+				best = i
+			}
+		}
+		cur[best] -= total
+		seq = append(seq, ids[best])
+	}
+	return seq
+}
+
+// quantizeWeights maps positive float weights to positive integers
+// preserving their ratios. When the weights stand in a small exact rational
+// ratio (the common case: capacities like 25/50/40 = 5:10:8), that ratio is
+// used and the cycle reproduces the serial scheduler's distribution
+// bit-for-bit; otherwise shares are rounded onto quantBudget slots with
+// every backend keeping at least one.
+func quantizeWeights(ws []float64) []int {
+	min := math.Inf(1)
+	for _, w := range ws {
+		if w < min {
+			min = w
+		}
+	}
+	// Scan scale factors: k·w/min integral for every weight means the
+	// weights are exactly k'/k rationals, and the k·ratios are the smallest
+	// integer cycle. k=1 covers integer multiples of the minimum; larger k
+	// covers sets like 25:50:40 (k=5 → 5:10:8).
+	exact := make([]int, len(ws))
+	for k := 1; k <= 64; k++ {
+		sum := 0
+		ok := true
+		for i, w := range ws {
+			r := w / min * float64(k)
+			n := math.Round(r)
+			if math.Abs(r-n) > 1e-9*float64(k) || n < 1 {
+				ok = false
+				break
+			}
+			exact[i] = int(n)
+			sum += int(n)
+		}
+		if ok && sum <= maxSeqLen {
+			return exact
+		}
+		if ok {
+			break // an exact cycle exists but is too long; larger k only grows it
+		}
+	}
+	var total float64
+	for _, w := range ws {
+		total += w
+	}
+	out := make([]int, len(ws))
+	for i, w := range ws {
+		n := int(math.Round(w / total * quantBudget))
+		if n < 1 {
+			n = 1
+		}
+		out[i] = n
+	}
+	return out
+}
+
+// cursor is a cache-line-padded atomic pick counter. One cursor per
+// precomputed sequence; padding keeps the three hot cursors off each
+// other's cache lines (the same stripe idiom as internal/metrics).
+type cursor struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// next returns the id at this cursor's next position in seq.
+func (c *cursor) next(seq []int) (int, bool) {
+	n := uint64(len(seq))
+	if n == 0 {
+		return 0, false
+	}
+	k := c.v.Add(1) - 1
+	return seq[k%n], true
+}

@@ -50,83 +50,18 @@ func DecideRevocation(utilization, highUtil, startDelay, warning float64) Revoca
 	return ActionAdmissionControl
 }
 
-// SessionTable tracks sticky user sessions → backend assignments and
-// supports the bulk migration the transiency-aware LB performs during the
-// warning period. It is safe for concurrent use.
-type SessionTable struct {
-	mu sync.Mutex
-	m  map[string]int
-}
-
-// NewSessionTable returns an empty table.
-func NewSessionTable() *SessionTable { return &SessionTable{m: make(map[string]int)} }
-
-// Assign binds a session to a backend.
-func (t *SessionTable) Assign(session string, backend int) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.m[session] = backend
-}
-
-// Lookup returns the backend a session is bound to.
-func (t *SessionTable) Lookup(session string) (int, bool) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	b, ok := t.m[session]
-	return b, ok
-}
-
-// End removes a session.
-func (t *SessionTable) End(session string) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	delete(t.m, session)
-}
-
-// Len returns the number of live sessions.
-func (t *SessionTable) Len() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return len(t.m)
-}
-
-// CountOn returns the number of sessions bound to a backend.
-func (t *SessionTable) CountOn(backend int) int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	n := 0
-	for _, b := range t.m {
-		if b == backend {
-			n++
-		}
-	}
-	return n
-}
-
-// MigrateAll rebinds every session on `from` using pick to choose new
-// backends; sessions for which pick fails stay put (they will be dropped at
-// termination). Returns the number migrated.
-func (t *SessionTable) MigrateAll(from int, pick func() (int, bool)) int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	n := 0
-	for s, b := range t.m {
-		if b != from {
-			continue
-		}
-		if nb, ok := pick(); ok && nb != from {
-			t.m[s] = nb
-			n++
-		}
-	}
-	return n
-}
-
 // Balancer is the transiency-aware load balancer: smooth WRR routing with
 // portfolio-driven weights, revocation-warning handling and admission
 // control. The Vanilla flag disables all transiency awareness, reproducing
 // the unmodified-HAProxy baseline (keeps routing to revoked servers until
 // they disappear).
+//
+// Route is the data plane and is lock-free end to end: one atomic load of
+// the epoch-swapped routing table (drain marks are baked into the table's
+// precomputed pick sequences, so no per-request drain-set snapshot exists),
+// a sharded session lookup, an optional GCRA admission check, and striped
+// batch accounting. Control-plane operations — weight updates, drain
+// marks, migrations — swap in a new table and never stall routing.
 type Balancer struct {
 	WRR      *SmoothWRR
 	Sessions *SessionTable
@@ -143,19 +78,18 @@ type Balancer struct {
 	// false to keep the normal decision.
 	ActionOverride func() (RevocationAction, bool)
 
+	// admit, when set, rate-limits the routing hot path (token-bucket
+	// admission control). Nil admits everything at the cost of one branch.
+	admit *TokenBucket
+	// stats is the batched per-route accounting (nil when metrics are off).
+	stats *routeStats
+
 	// migMu serializes session migrations with drain completion: a
 	// migration's target snapshot must not interleave with another backend's
 	// final drain, or a session can be re-homed onto a backend that has
 	// already terminated (see TestConcurrentRevocationsNeverStrandSessions).
+	// Route never touches it.
 	migMu sync.Mutex
-
-	mu sync.Mutex
-	// draining backends are fully out of rotation (survivors have
-	// headroom); soft backends keep taking sessionless requests until they
-	// terminate, because pulling them early would overload the survivors
-	// while replacements boot (§4.4's high-utilization case).
-	draining map[int]bool
-	soft     map[int]bool
 }
 
 // NewBalancer returns a transiency-aware balancer with the paper's defaults.
@@ -164,26 +98,25 @@ func NewBalancer() *Balancer {
 		WRR:      NewSmoothWRR(),
 		Sessions: NewSessionTable(),
 		HighUtil: 0.85,
-		draining: make(map[int]bool),
-		soft:     make(map[int]bool),
 	}
 }
 
+// SetAdmission installs (or, with nil, removes) the token-bucket admission
+// limiter applied to every Route call.
+func (b *Balancer) SetAdmission(tb *TokenBucket) { b.admit = tb }
+
+// SetMetrics registers the data plane's batched route accounting
+// (spotweb_lb_route_total, spotweb_lb_sticky_hits_total) with a registry.
+// Call before serving traffic; a nil registry leaves metrics disabled.
+func (b *Balancer) SetMetrics(r *metrics.Registry) { b.stats = newRouteStats(r) }
+
 // UpdatePortfolio resets backend weights after a new portfolio is chosen
 // (the optimizer → LB REST call in the paper). Weights are the relative
-// market weights; backends absent from the map are removed.
+// market weights; backends absent from the map are removed. One epoch swap
+// total: routing sees either the old portfolio or the new one, never a
+// half-applied mix.
 func (b *Balancer) UpdatePortfolio(weights map[int]float64) {
-	for _, id := range b.WRR.Backends() {
-		if _, ok := weights[id]; !ok {
-			b.WRR.Remove(id)
-			b.mu.Lock()
-			delete(b.draining, id)
-			b.mu.Unlock()
-		}
-	}
-	for id, w := range weights {
-		b.WRR.SetWeight(id, w)
-	}
+	b.WRR.Apply(weights)
 }
 
 // Route picks a backend for a request. A sticky session is honored while its
@@ -194,27 +127,19 @@ func (b *Balancer) UpdatePortfolio(weights map[int]float64) {
 // are never assigned new sessions. ok is false when the request must be
 // dropped.
 func (b *Balancer) Route(session string) (backend int, ok bool) {
+	if !b.admit.Allow() {
+		b.stats.admissionReject()
+		return 0, false
+	}
 	for attempt := 0; attempt < 4; attempt++ {
-		b.mu.Lock()
-		hard := make(map[int]bool, len(b.draining))
-		for k := range b.draining {
-			hard[k] = true
-		}
-		full := make(map[int]bool, len(b.draining)+len(b.soft))
-		for k := range b.draining {
-			full[k] = true
-		}
-		for k := range b.soft {
-			full[k] = true
-		}
-		b.mu.Unlock()
-
 		if session != "" {
 			if cur, found := b.Sessions.Lookup(session); found {
 				// Existing sessions stay put unless the backend is
 				// hard-drained or already out of rotation (vanilla mode keeps
 				// using even revoked backends).
-				if b.Vanilla || (!hard[cur] && b.WRR.Has(cur)) {
+				hard, _, registered := b.WRR.drainState(cur)
+				if b.Vanilla || (registered && !hard) {
+					b.stats.routed(true)
 					return cur, true
 				}
 			}
@@ -226,26 +151,30 @@ func (b *Balancer) Route(session string) (backend int, ok bool) {
 			id, found = b.WRR.Next()
 		case session != "":
 			// New session bindings avoid both hard- and soft-draining backends.
-			id, found = b.WRR.NextExcluding(full)
+			id, found = b.WRR.nextOpen()
 		default:
-			id, found = b.WRR.NextExcluding(hard)
+			id, found = b.WRR.nextLive()
 		}
 		if !found {
+			b.stats.drop()
 			return 0, false
 		}
 		if session == "" {
+			b.stats.routed(false)
 			return id, true
 		}
 		b.Sessions.Assign(session, id)
 		if b.Vanilla || b.WRR.Has(id) {
+			b.stats.routed(false)
 			return id, true
 		}
-		// The backend completed its drain between our snapshot and the
+		// The backend completed its drain between our pick and the
 		// assignment, so its final session sweep may already have run:
 		// unbind and pick again rather than strand the session on a
 		// terminated server.
 		b.Sessions.End(session)
 	}
+	b.stats.drop()
 	return 0, false
 }
 
@@ -264,18 +193,13 @@ func (b *Balancer) HandleWarning(backend int, utilization, startDelay, warning f
 			action = forced
 		}
 	}
-	b.mu.Lock()
-	if action == ActionRedistribute {
-		// Survivors can absorb the load: pull the backend out entirely.
-		b.draining[backend] = true
-	} else {
-		// Survivors are hot: keep the backend serving its sessions through
-		// the warning period while replacements boot; sessions migrate when
-		// the replacements are routable (MigrateOff) or at the latest just
-		// before termination (CompleteDrain).
-		b.soft[backend] = true
-	}
-	b.mu.Unlock()
+	// Redistribute → survivors can absorb the load: hard-drain (fully out
+	// of rotation). Otherwise survivors are hot: soft-drain — the backend
+	// keeps serving its sessions through the warning period while
+	// replacements boot; sessions migrate when the replacements are
+	// routable (MigrateOff) or at the latest just before termination
+	// (CompleteDrain). One epoch swap publishes the mark.
+	b.WRR.setDrain(backend, action == ActionRedistribute)
 	b.Journal.Record(metrics.EvDrainStart, backend, -1, action.String())
 	migrated := 0
 	if action == ActionRedistribute {
@@ -302,28 +226,18 @@ func (b *Balancer) MigrateOff(backend int) int {
 // session we re-home onto it) or has been removed from the WRR (and is
 // never chosen as a target).
 func (b *Balancer) migrateOffSerialized(backend int) int {
-	b.mu.Lock()
-	exclude := make(map[int]bool, len(b.draining)+len(b.soft))
-	for k := range b.draining {
-		exclude[k] = true
-	}
-	for k := range b.soft {
-		exclude[k] = true
-	}
-	b.mu.Unlock()
-
-	weights := b.WRR.Weights()
+	t := b.WRR.table()
 	type target struct {
 		id     int
 		weight float64
 		bound  int
 	}
 	var targets []target
-	for id, w := range weights {
-		if w <= 0 || exclude[id] || id == backend {
+	for _, e := range t.ents {
+		if e.weight <= 0 || e.hard || e.soft || e.id == backend {
 			continue
 		}
-		targets = append(targets, target{id: id, weight: w, bound: b.Sessions.CountOn(id)})
+		targets = append(targets, target{id: e.id, weight: e.weight, bound: b.Sessions.CountOn(e.id)})
 	}
 	if len(targets) == 0 {
 		return 0
@@ -356,23 +270,18 @@ func (b *Balancer) migrateOffSerialized(backend int) int {
 func (b *Balancer) CompleteDrain(backend int) {
 	b.migMu.Lock()
 	// Remove from rotation BEFORE the final sweep: once the backend is out
-	// of the WRR, no serialized migration can target it, and any Route that
-	// had already picked it re-checks routability after binding — so every
-	// session bound to it is either caught by the sweep below or rebound by
-	// Route itself.
+	// of the WRR (one epoch swap), no serialized migration can target it,
+	// and any Route that had already picked it re-checks routability after
+	// binding — so every session bound to it is either caught by the sweep
+	// below or rebound by Route itself.
 	b.WRR.Remove(backend)
 	b.migrateOffSerialized(backend)
-	b.mu.Lock()
-	delete(b.draining, backend)
-	delete(b.soft, backend)
-	b.mu.Unlock()
 	b.migMu.Unlock()
 	b.Journal.Record(metrics.EvDrainComplete, backend, -1, "")
 }
 
-// Draining reports whether a backend is draining (hard or soft).
+// Draining reports whether a backend is draining (hard or soft). Lock-free.
 func (b *Balancer) Draining(backend int) bool {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.draining[backend] || b.soft[backend]
+	hard, soft, _ := b.WRR.drainState(backend)
+	return hard || soft
 }

@@ -1,36 +1,71 @@
 // Package lb implements SpotWeb's transiency-aware load balancer (§4.4):
 // a smooth weighted-round-robin scheduler whose weights can be reset online
-// as the portfolio changes (the paper's HAProxy wrapper), a session table
-// supporting bulk migration off revoked servers, and the revocation decision
-// logic (§6.1's three scenarios: redistribute, reprovision within the
-// warning period, or admission-control). A vanilla (transiency-unaware) mode
-// reproduces the paper's unmodified-HAProxy baseline.
+// as the portfolio changes (the paper's HAProxy wrapper), a sharded session
+// table supporting bulk migration off revoked servers, and the revocation
+// decision logic (§6.1's three scenarios: redistribute, reprovision within
+// the warning period, or admission-control). A vanilla (transiency-unaware)
+// mode reproduces the paper's unmodified-HAProxy baseline.
+//
+// The data plane is lock-free: Route, Next, session Lookup/Assign and the
+// admission token bucket never take a mutex. Mutations (planner weight
+// updates, drain marks) rebuild an immutable routing table and publish it
+// with one atomic pointer swap (see table.go), so a re-plan never stalls
+// request routing.
 package lb
 
 import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // SmoothWRR is a smooth weighted round robin scheduler (the algorithm used
-// by nginx/HAProxy): each pick adds every backend's weight to its current
-// score, selects the highest, and subtracts the total weight from the
-// winner. This interleaves backends proportionally to weight without bursts,
-// and supports online weight updates. It is safe for concurrent use.
+// by nginx/HAProxy): proportional-to-weight interleaving without bursts,
+// with online weight updates. Picks are lock-free reads of an immutable
+// epoch-swapped table; SetWeight/Remove serialize on a mutation mutex,
+// rebuild the table, and publish it atomically — so Next never contends
+// with a planner update. It is safe for concurrent use.
 type SmoothWRR struct {
-	mu      sync.Mutex
-	entries []*wrrEntry
-}
+	mu   sync.Mutex // serializes mutations only; never held by picks
+	ents []rentry   // master copy, ascending id
+	gen  uint64
+	tbl  atomic.Pointer[rtable]
 
-type wrrEntry struct {
-	id      int
-	weight  float64
-	current float64
+	curAll, curLive, curOpen cursor
 }
 
 // NewSmoothWRR returns an empty scheduler.
-func NewSmoothWRR() *SmoothWRR { return &SmoothWRR{} }
+func NewSmoothWRR() *SmoothWRR {
+	w := &SmoothWRR{}
+	w.tbl.Store(emptyTable)
+	return w
+}
+
+// table returns the current immutable routing table.
+func (w *SmoothWRR) table() *rtable { return w.tbl.Load() }
+
+// publishLocked rebuilds and atomically publishes the table; callers hold mu.
+func (w *SmoothWRR) publishLocked() {
+	w.gen++
+	ents := make([]rentry, len(w.ents))
+	copy(ents, w.ents)
+	w.tbl.Store(buildTable(w.gen, ents))
+}
+
+// Epoch returns the generation of the published table. Every mutation
+// increments it; a pick that begins after a mutation returns observes a
+// table with at least that generation.
+func (w *SmoothWRR) Epoch() uint64 { return w.table().gen }
+
+// findLocked returns the index of id in the master entry slice, or -1.
+func (w *SmoothWRR) findLocked(id int) int {
+	i := sort.Search(len(w.ents), func(i int) bool { return w.ents[i].id >= id })
+	if i < len(w.ents) && w.ents[i].id == id {
+		return i
+	}
+	return -1
+}
 
 // SetWeight adds or updates a backend. A weight of 0 keeps the backend
 // registered but never selected.
@@ -40,96 +75,154 @@ func (w *SmoothWRR) SetWeight(id int, weight float64) {
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	for _, e := range w.entries {
-		if e.id == id {
-			e.weight = weight
-			return
-		}
+	if i := w.findLocked(id); i >= 0 {
+		w.ents[i].weight = weight
+	} else {
+		at := sort.Search(len(w.ents), func(i int) bool { return w.ents[i].id >= id })
+		w.ents = append(w.ents, rentry{})
+		copy(w.ents[at+1:], w.ents[at:])
+		w.ents[at] = rentry{id: id, weight: weight}
 	}
-	w.entries = append(w.entries, &wrrEntry{id: id, weight: weight})
+	w.publishLocked()
 }
 
-// Remove deletes a backend. It reports whether the backend existed.
+// Apply bulk-reconciles the scheduler to a weight map in one table rebuild:
+// backends absent from the map are removed (clearing their drain marks),
+// present ones are set to their weight, keeping any drain marks. This is
+// the planner's path — one epoch swap per re-plan instead of one per
+// backend.
+func (w *SmoothWRR) Apply(weights map[int]float64) {
+	for id, wt := range weights {
+		if wt < 0 {
+			panic(fmt.Sprintf("lb: negative weight %v for backend %d", wt, id))
+		}
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	kept := w.ents[:0]
+	for _, e := range w.ents {
+		if wt, ok := weights[e.id]; ok {
+			e.weight = wt
+			kept = append(kept, e)
+		}
+	}
+	w.ents = kept
+	for bid, wt := range weights {
+		if w.findLocked(bid) < 0 {
+			at := sort.Search(len(w.ents), func(i int) bool { return w.ents[i].id >= bid })
+			w.ents = append(w.ents, rentry{})
+			copy(w.ents[at+1:], w.ents[at:])
+			w.ents[at] = rentry{id: bid, weight: wt}
+		}
+	}
+	w.publishLocked()
+}
+
+// Remove deletes a backend (and its drain marks). It reports whether the
+// backend existed.
 func (w *SmoothWRR) Remove(id int) bool {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	for i, e := range w.entries {
-		if e.id == id {
-			w.entries = append(w.entries[:i], w.entries[i+1:]...)
-			return true
-		}
+	i := w.findLocked(id)
+	if i < 0 {
+		return false
 	}
-	return false
+	w.ents = append(w.ents[:i], w.ents[i+1:]...)
+	w.publishLocked()
+	return true
 }
 
-// Next picks the next backend. ok is false when no backend has positive
-// weight.
+// setDrain marks a backend hard- or soft-draining (Balancer's warning
+// path); clearDrain removes both marks.
+func (w *SmoothWRR) setDrain(id int, hard bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	i := w.findLocked(id)
+	if i < 0 {
+		return
+	}
+	if hard {
+		w.ents[i].hard = true
+	} else {
+		w.ents[i].soft = true
+	}
+	w.publishLocked()
+}
+
+// drainState reports a backend's drain marks from the published table
+// (lock-free; an array index on the sticky hot path when ids are dense).
+func (w *SmoothWRR) drainState(id int) (hard, soft, registered bool) {
+	t := w.table()
+	if t.dense != nil {
+		if id < 0 || id >= len(t.dense) {
+			return false, false, false
+		}
+		s := t.dense[id]
+		return s == stateHard, s == stateSoft, s != 0
+	}
+	e, ok := t.lookup(id)
+	return e.hard, e.soft, ok
+}
+
+// Next picks the next backend over all registered positive-weight entries
+// (drain marks are ignored — the vanilla baseline's view). ok is false when
+// no backend has positive weight. Lock-free.
 func (w *SmoothWRR) Next() (id int, ok bool) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	var total float64
-	var best *wrrEntry
-	for _, e := range w.entries {
-		if e.weight <= 0 {
-			continue
-		}
-		e.current += e.weight
-		total += e.weight
-		if best == nil || e.current > best.current {
-			best = e
-		}
-	}
-	if best == nil {
-		return 0, false
-	}
-	best.current -= total
-	return best.id, true
+	return w.curAll.next(w.table().seqAll)
 }
 
-// NextExcluding picks the next backend skipping the given ids (used to avoid
-// a draining server).
+// nextLive picks excluding hard-draining backends (anonymous traffic; the
+// §4.4 soft-draining servers keep receiving sessionless load). Lock-free.
+func (w *SmoothWRR) nextLive() (id int, ok bool) {
+	return w.curLive.next(w.table().seqLive)
+}
+
+// nextOpen picks excluding both hard- and soft-draining backends (new
+// session bindings). Lock-free.
+func (w *SmoothWRR) nextOpen() (id int, ok bool) {
+	return w.curOpen.next(w.table().seqOpen)
+}
+
+// NextExcluding picks the next backend skipping the given ids. The
+// precomputed cycle is scanned forward from the cursor position, which
+// yields the conditional distribution (remaining backends keep their
+// relative proportions). Lock-free.
 func (w *SmoothWRR) NextExcluding(exclude map[int]bool) (id int, ok bool) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	var total float64
-	var best *wrrEntry
-	for _, e := range w.entries {
-		if e.weight <= 0 || exclude[e.id] {
-			continue
-		}
-		e.current += e.weight
-		total += e.weight
-		if best == nil || e.current > best.current {
-			best = e
-		}
-	}
-	if best == nil {
+	t := w.table()
+	n := len(t.seqAll)
+	if n == 0 {
 		return 0, false
 	}
-	best.current -= total
-	return best.id, true
+	if len(exclude) == 0 {
+		return w.curAll.next(t.seqAll)
+	}
+	k := w.curAll.v.Add(1) - 1
+	for i := 0; i < n; i++ {
+		id := t.seqAll[(k+uint64(i))%uint64(n)]
+		if !exclude[id] {
+			return id, true
+		}
+	}
+	return 0, false
 }
 
 // Has reports whether a backend is still registered (removal marks the end
 // of its drain lifecycle, so Has doubles as the routability check closing
-// the assign/drain race in Balancer.Route).
+// the assign/drain race in Balancer.Route). Lock-free.
 func (w *SmoothWRR) Has(id int) bool {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	for _, e := range w.entries {
-		if e.id == id {
-			return true
-		}
+	t := w.table()
+	if t.dense != nil {
+		return id >= 0 && id < len(t.dense) && t.dense[id] != 0
 	}
-	return false
+	_, ok := t.lookup(id)
+	return ok
 }
 
 // Weights returns a copy of the current backend weights.
 func (w *SmoothWRR) Weights() map[int]float64 {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	out := make(map[int]float64, len(w.entries))
-	for _, e := range w.entries {
+	t := w.table()
+	out := make(map[int]float64, len(t.ents))
+	for _, e := range t.ents {
 		out[e.id] = e.weight
 	}
 	return out
@@ -138,14 +231,13 @@ func (w *SmoothWRR) Weights() map[int]float64 {
 // Shares returns each backend's normalized weight fraction; backends with
 // zero weight are included with share 0.
 func (w *SmoothWRR) Shares() map[int]float64 {
-	w.mu.Lock()
-	defer w.mu.Unlock()
+	t := w.table()
 	var total float64
-	for _, e := range w.entries {
+	for _, e := range t.ents {
 		total += e.weight
 	}
-	out := make(map[int]float64, len(w.entries))
-	for _, e := range w.entries {
+	out := make(map[int]float64, len(t.ents))
+	for _, e := range t.ents {
 		if total > 0 {
 			out[e.id] = e.weight / total
 		} else {
@@ -157,19 +249,13 @@ func (w *SmoothWRR) Shares() map[int]float64 {
 
 // Backends returns the registered backend ids in ascending order.
 func (w *SmoothWRR) Backends() []int {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	out := make([]int, 0, len(w.entries))
-	for _, e := range w.entries {
+	t := w.table()
+	out := make([]int, 0, len(t.ents))
+	for _, e := range t.ents {
 		out = append(out, e.id)
 	}
-	sort.Ints(out)
 	return out
 }
 
 // Len returns the number of registered backends.
-func (w *SmoothWRR) Len() int {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return len(w.entries)
-}
+func (w *SmoothWRR) Len() int { return len(w.table().ents) }

@@ -1,0 +1,130 @@
+package loadgen
+
+import (
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/lb"
+)
+
+// TestRunAccounting drives a short run against a trivially-true target and
+// checks the ledger adds up: ops = served + dropped, positive RPS, the
+// sampled-latency count matches the stride, and quantiles are populated.
+func TestRunAccounting(t *testing.T) {
+	res := Run(Config{
+		Workers:     4,
+		Duration:    100 * time.Millisecond,
+		SampleEvery: 8,
+	}, func(string) bool { return true })
+
+	if res.Ops == 0 {
+		t.Fatal("no operations completed")
+	}
+	if res.Ops != res.Served+res.Dropped {
+		t.Fatalf("ops=%d != served=%d + dropped=%d", res.Ops, res.Served, res.Dropped)
+	}
+	if res.Dropped != 0 {
+		t.Fatalf("dropped=%d with an always-true target", res.Dropped)
+	}
+	if res.RPS <= 0 || res.WallSec <= 0 {
+		t.Fatalf("rps=%.1f wall=%.3f", res.RPS, res.WallSec)
+	}
+	if res.Workers != 4 {
+		t.Fatalf("workers=%d", res.Workers)
+	}
+	if res.Samples == 0 || res.Samples > res.Ops/4 {
+		t.Fatalf("samples=%d of ops=%d at stride 8", res.Samples, res.Ops)
+	}
+	if res.P50us < 0 || res.P99us < res.P50us {
+		t.Fatalf("quantiles out of order: p50=%.1f p99=%.1f", res.P50us, res.P99us)
+	}
+}
+
+// TestRunSessionsCycle verifies the sticky mode: the target sees only ids
+// from the pre-generated pool, and every pool entry shows up.
+func TestRunSessionsCycle(t *testing.T) {
+	var seen [8]atomic.Int64
+	res := Run(Config{
+		Workers:  2,
+		Duration: 50 * time.Millisecond,
+		Sessions: 8,
+	}, func(session string) bool {
+		if !strings.HasPrefix(session, "s") {
+			t.Errorf("unexpected session id %q", session)
+			return false
+		}
+		n := 0
+		for _, c := range session[1:] {
+			n = n*10 + int(c-'0')
+		}
+		if n < 0 || n >= 8 {
+			t.Errorf("session %q outside the pool", session)
+			return false
+		}
+		seen[n].Add(1)
+		return true
+	})
+	if res.Ops == 0 {
+		t.Fatal("no operations completed")
+	}
+	for i := range seen {
+		if seen[i].Load() == 0 {
+			t.Fatalf("session s%d never issued", i)
+		}
+	}
+}
+
+// TestRunCountsDrops: a target that fails every other op splits the ledger.
+func TestRunCountsDrops(t *testing.T) {
+	var n atomic.Int64
+	res := Run(Config{
+		Workers:  1,
+		Duration: 30 * time.Millisecond,
+	}, func(string) bool { return n.Add(1)%2 == 0 })
+	if res.Dropped == 0 || res.Served == 0 {
+		t.Fatalf("served=%d dropped=%d, want both nonzero", res.Served, res.Dropped)
+	}
+}
+
+// TestBalancerTarget wires the adapter end-to-end: routes succeed against a
+// populated balancer and fail against an empty one.
+func TestBalancerTarget(t *testing.T) {
+	b := lb.NewBalancer()
+	b.UpdatePortfolio(map[int]float64{1: 1, 2: 3})
+	target := BalancerTarget(b)
+	if !target("") || !target("alice") {
+		t.Fatal("route failed against a populated balancer")
+	}
+	empty := BalancerTarget(lb.NewBalancer())
+	if empty("") {
+		t.Fatal("route succeeded against an empty balancer")
+	}
+}
+
+// TestHandlerTarget checks status-code mapping through the pooled writer.
+func TestHandlerTarget(t *testing.T) {
+	okT := HandlerTarget(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get("X-Session") != "sess" {
+			t.Errorf("session header = %q", r.Header.Get("X-Session"))
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	if !okT("sess") {
+		t.Fatal("200 handler reported as dropped")
+	}
+	failT := HandlerTarget(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "overloaded", http.StatusServiceUnavailable)
+	}))
+	if failT("") {
+		t.Fatal("503 handler reported as served")
+	}
+	implicitT := HandlerTarget(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok")) // implicit 200 via first Write
+	}))
+	if !implicitT("") {
+		t.Fatal("implicit-200 handler reported as dropped")
+	}
+}

@@ -74,10 +74,11 @@ type stripe struct {
 	_ [56]byte
 }
 
-// Counter is a monotonically increasing sharded counter. All methods are
-// safe for concurrent use and are no-ops on a nil receiver.
+// Counter is a monotonically increasing sharded counter (a monotone wrapper
+// over Striped). All methods are safe for concurrent use and are no-ops on a
+// nil receiver.
 type Counter struct {
-	shards []stripe
+	s Striped
 }
 
 // Inc adds one.
@@ -88,7 +89,7 @@ func (c *Counter) Add(n int64) {
 	if c == nil || n <= 0 {
 		return
 	}
-	c.shards[shardIndex()].v.Add(n)
+	c.s.cells[shardIndex()].v.Add(n)
 }
 
 // Value sums the stripes. The sum is not a point-in-time snapshot under
@@ -98,11 +99,7 @@ func (c *Counter) Value() int64 {
 	if c == nil {
 		return 0
 	}
-	var s int64
-	for i := range c.shards {
-		s += c.shards[i].v.Load()
-	}
-	return s
+	return c.s.Sum()
 }
 
 // Gauge is a settable float64 value (atomic bit-store). Methods are safe
@@ -222,7 +219,7 @@ func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
 	f := r.familyFor(name, help, kindCounter)
 	s, created := f.seriesFor(labels)
 	if created {
-		s.counter = &Counter{shards: make([]stripe, shardCount)}
+		s.counter = &Counter{s: Striped{cells: make([]stripe, shardCount)}}
 	}
 	return s.counter
 }

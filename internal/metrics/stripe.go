@@ -1,0 +1,45 @@
+package metrics
+
+// Striped is the exported form of the cache-line-padded counter-stripe idiom
+// Counter is built on: a per-goroutine-sharded array of padded atomic int64
+// cells. Writers land on (probabilistically) distinct cache lines, so
+// concurrent Add calls never contend; Sum folds the stripes at read time.
+//
+// It exists for hot paths outside this package that want the same
+// write-side cheapness without going through a registry — the load
+// balancer's data plane batches its per-route accounting into Striped cells
+// and lets the registry pull the folded sum at scrape time (CounterFunc),
+// so the request path never touches registry state.
+//
+// Like the registry handles, a nil *Striped is a no-op on every method.
+type Striped struct {
+	cells []stripe
+}
+
+// NewStriped returns a Striped sized to the process's stripe count (the next
+// power of two ≥ GOMAXPROCS, capped at 64).
+func NewStriped() *Striped {
+	return &Striped{cells: make([]stripe, shardCount)}
+}
+
+// Add adds n (any sign) to the calling goroutine's stripe.
+func (s *Striped) Add(n int64) {
+	if s == nil {
+		return
+	}
+	s.cells[shardIndex()].v.Add(n)
+}
+
+// Sum folds the stripes. Under concurrent writers the result is not a
+// point-in-time snapshot, but for monotone usage it is always ≤ the true
+// total at return time — the property a scrape needs.
+func (s *Striped) Sum() int64 {
+	if s == nil {
+		return 0
+	}
+	var t int64
+	for i := range s.cells {
+		t += s.cells[i].v.Load()
+	}
+	return t
+}

@@ -47,6 +47,11 @@ type ClusterConfig struct {
 	// SLOTarget is the latency SLO threshold fed to the attainment tracker
 	// (default 500 ms; the paper holds p99 at sub-second scale).
 	SLOTarget time.Duration
+	// AdmitRPS > 0 installs token-bucket admission control on the routing
+	// hot path at that request rate; AdmitBurst is the bucket depth
+	// (default 64). 0 disables admission control.
+	AdmitRPS   float64
+	AdmitBurst int
 }
 
 // clusterMetrics bundles the front-end instrument handles. All fields are
@@ -104,6 +109,14 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 		c.balancer.HighUtil = cfg.HighUtil
 	}
 	c.balancer.ActionOverride = cfg.ActionOverride
+	if cfg.AdmitRPS > 0 {
+		burst := cfg.AdmitBurst
+		if burst <= 0 {
+			burst = 64
+		}
+		c.balancer.SetAdmission(lb.NewTokenBucket(cfg.AdmitRPS, burst))
+	}
+	c.balancer.SetMetrics(cfg.Metrics)
 	c.instrumented = cfg.OnRequest != nil || cfg.Metrics != nil
 	if r := cfg.Metrics; r != nil {
 		c.met = clusterMetrics{

@@ -1,0 +1,36 @@
+#!/bin/sh
+# bench_lb.sh — LB data-plane benchmark run for the BENCH_lb trajectory.
+#
+# Runs the gate benchmark set (BenchmarkRoute*|BenchmarkLB*, COUNT
+# repetitions, minimum taken per benchmark), drives the loadgen harness
+# against the raw routing hot path for the max-RPS number, and summarizes
+# both into the JSON baseline named by $1 (default BENCH_lb.json) via
+# scripts/benchdiff. CI's bench-gate job compares a fresh run of this script
+# against the checked-in BENCH_lb.json with a 20% ns/op threshold.
+#
+# Env knobs: COUNT (bench repetitions, default 10), BENCHTIME (default 1s),
+# LOADGEN_DUR (default 3s).
+#
+# Requires: go. Exits nonzero if any step fails.
+set -eu
+
+OUT="${1:-BENCH_lb.json}"
+COUNT="${COUNT:-10}"
+BENCHTIME="${BENCHTIME:-1s}"
+LOADGEN_DUR="${LOADGEN_DUR:-3s}"
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+echo "==> benchmarks: -count=$COUNT -benchtime=$BENCHTIME" >&2
+go test -run='^$' -bench='BenchmarkRoute|BenchmarkLB' \
+    -count="$COUNT" -benchtime="$BENCHTIME" \
+    ./internal/lb/ | tee "$tmp/bench_raw.txt" >&2
+
+echo "==> loadgen: route mode, $LOADGEN_DUR" >&2
+go run ./cmd/spotweb-load -mode route -backends 16 -sessions 1024 \
+    -duration "$LOADGEN_DUR" -json "$tmp/loadgen.json"
+
+go run ./scripts/benchdiff -parse "$tmp/bench_raw.txt" \
+    -loadgen "$tmp/loadgen.json" -out "$OUT"
+echo "==> wrote $OUT" >&2

@@ -55,6 +55,16 @@ done
 echo "==> drove $reqs requests through the LB"
 [ "$reqs" -gt 0 ] || { echo "FAIL: no request ever succeeded" >&2; cat "$LOG" >&2; exit 1; }
 
+# Burst the loadgen harness (url mode, sticky sessions) against the live
+# daemon so the lock-free data plane's own series accumulate real traffic.
+echo "==> loadgen burst against the LB"
+go run ./cmd/spotweb-load -mode url -url "http://127.0.0.1:$LB_PORT/" \
+    -workers 4 -sessions 16 -duration 2s -sample-every 1 || {
+    echo "FAIL: loadgen burst errored" >&2
+    cat "$LOG" >&2
+    exit 1
+}
+
 METRICS=$(curl -fsS "http://127.0.0.1:$MON_PORT/metrics")
 
 check_metric() {
@@ -68,6 +78,8 @@ check_metric() {
 
 check_metric "spotweb_lb_requests_total"
 check_metric "spotweb_lb_request_seconds_bucket"
+check_metric "spotweb_lb_route_total"
+check_metric "spotweb_lb_sticky_hits_total"
 check_metric "spotweb_slo_attainment_ratio"
 check_metric "spotweb_solver_solves_total"
 check_metric "spotweb_backends_live"
