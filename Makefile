@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-warm bench-kkt bench-lb bench-gate loadgen fmt vet fuzz-smoke smoke chaos chaos-golden ci
+.PHONY: build test race bench bench-warm bench-kkt bench-lb bench-gate loadgen fmt vet fuzz-smoke smoke chaos chaos-golden risk-sim ci
 
 build:
 	$(GO) build ./...
@@ -67,6 +67,13 @@ chaos:
 # chaos-golden regenerates the golden reports after an intentional change.
 chaos-golden:
 	$(GO) run ./cmd/spotweb-chaos -suite all -quick -seed 42 -out cmd/spotweb-chaos/testdata/golden
+
+# risk-sim runs the adaptive-vs-oracle-prior comparison: both catalog-lie
+# scenarios, scored reports to stdout (the Adaptive section carries the SLO
+# gain / cost delta / dominance verdict; see DESIGN.md §12).
+risk-sim:
+	$(GO) run ./cmd/spotweb-chaos -suite stale-catalog -quick -seed 42
+	$(GO) run ./cmd/spotweb-chaos -suite adversarial-prior -quick -seed 42
 
 # ci mirrors .github/workflows/ci.yml so failures reproduce locally.
 ci: build vet fmt test race fuzz-smoke smoke chaos

@@ -35,10 +35,39 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/chaos/runner"
 	"repro/internal/lb"
+	"repro/internal/market"
 	"repro/internal/metrics"
 	"repro/internal/monitor"
+	"repro/internal/risk"
 	"repro/internal/testbed"
+	"repro/internal/trace"
 )
+
+// flatCatalog is the declared prior the LB testbed hands the risk
+// estimator: n transient markets at a flat 2% per-interval failure
+// probability and unit price. There is no real market catalog here, so the
+// prior is deliberately uninformative — journal evidence dominates quickly.
+func flatCatalog(n int) *market.Catalog {
+	const intervals = 24 * 30
+	flat := func(v float64) *trace.Series {
+		vals := make([]float64, intervals)
+		for i := range vals {
+			vals[i] = v
+		}
+		return &trace.Series{StepHrs: 1, Values: vals}
+	}
+	cat := &market.Catalog{StepHrs: 1, Intervals: intervals}
+	for i := 0; i < n; i++ {
+		cat.Markets = append(cat.Markets, &market.Market{
+			Type:      market.InstanceType{Name: fmt.Sprintf("testbed-%d", i), Capacity: 50},
+			Transient: true,
+			Group:     i,
+			Price:     flat(0.03),
+			FailProb:  flat(0.02),
+		})
+	}
+	return cat
+}
 
 func main() {
 	listen := flag.String("listen", ":8080", "address for the load balancer")
@@ -59,6 +88,9 @@ func main() {
 	chaosDur := flag.Duration("chaos-duration", time.Minute, "wall-clock window the chaos scenario timeline is mapped onto")
 	chaosMarkets := flag.Int("chaos-markets", 3, "synthetic markets the backends are spread over for chaos targeting")
 	seed := flag.Int64("seed", 42, "seed for chaos scenario compilation")
+	riskOn := flag.Bool("risk", false, "estimate per-market revocation risk online from the event journal (spotweb_risk_* on /metrics)")
+	riskQuantile := flag.Float64("risk-quantile", 0, "risk estimator upper-credible-bound quantile (0 = default 0.90)")
+	riskHalfLife := flag.Float64("risk-halflife", 0, "risk estimator evidence half-life in catalog-hours (0 = default 24)")
 	flag.Parse()
 
 	caps, err := parseFloats(*backendsFlag)
@@ -125,6 +157,33 @@ func main() {
 		log.Printf("backend %d: capacity %.0f req/s at %s (market %d)", b.ID, c, b.URL(), b.Market)
 	}
 
+	// Online risk estimation: the LB testbed has no market catalog, so the
+	// estimator starts from a flat declared prior per backend market and
+	// learns purely from the journal's revocation warnings. Its corrected,
+	// confidence-widened estimates surface as spotweb_risk_* on /metrics.
+	var feed *risk.Feed
+	if *riskOn {
+		est := risk.New(risk.Config{
+			Quantile: *riskQuantile, HalfLifeHrs: *riskHalfLife, Metrics: reg,
+		}, flatCatalog(*chaosMarkets))
+		feed = risk.NewFeed(est, risk.FeedConfig{
+			Journal:  journal,
+			Interval: time.Second,
+			Snapshot: func() ([]bool, []float64) {
+				counts := cl.MarketCounts(*chaosMarkets)
+				exposed := make([]bool, len(counts))
+				for i, c := range counts {
+					exposed[i] = c > 0
+				}
+				return exposed, nil
+			},
+		})
+		if feed == nil {
+			log.Printf("risk: estimator needs the journal; run without -metrics='' to enable")
+		}
+		feed.Start()
+	}
+
 	if *revokeAfter > 0 && *revoke != "" {
 		victims, err := parseInts(*revoke)
 		if err != nil {
@@ -181,6 +240,7 @@ func main() {
 			log.Printf("shutdown: metrics server: %v", err)
 		}
 	}
+	feed.Close()
 	cl.Close()
 	if reg != nil {
 		fmt.Fprintln(os.Stderr, "# final metrics snapshot")

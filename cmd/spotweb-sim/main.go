@@ -29,6 +29,9 @@ func main() {
 	warning := flag.Float64("warning", 120, "revocation warning period in seconds")
 	warmStart := flag.Bool("warm-start", true, "warm-start receding-horizon solves from the previous round's shifted solver state")
 	kktPath := flag.String("kkt", "auto", "ADMM KKT backend: auto (size-based), dense, or sparse (structure-exploiting)")
+	riskOn := flag.Bool("risk", false, "attach the online revocation-risk estimator to every SpotWeb policy run")
+	riskQuantile := flag.Float64("risk-quantile", 0, "estimator upper-credible-bound quantile (0 = default 0.90)")
+	riskHalfLife := flag.Float64("risk-halflife", 0, "estimator evidence half-life in catalog-hours (0 = default 24)")
 	flag.Parse()
 
 	kkt, err := portfolio.ParseKKTPath(*kktPath)
@@ -41,7 +44,8 @@ func main() {
 	// results are bit-identical at any width.
 	linalg.SetPool(parallel.PoolFor(*parallelism))
 	opt := experiments.Options{Quick: *quick, Seed: *seed, Parallelism: *parallelism,
-		HighUtil: *highUtil, WarningSec: *warning, ColdStart: !*warmStart, KKT: kkt}
+		HighUtil: *highUtil, WarningSec: *warning, ColdStart: !*warmStart, KKT: kkt,
+		Risk: *riskOn, RiskQuantile: *riskQuantile, RiskHalfLife: *riskHalfLife}
 	w := os.Stdout
 
 	run := func(id string) bool {

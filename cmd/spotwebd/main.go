@@ -36,6 +36,7 @@ import (
 	"os"
 	"os/signal"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -48,6 +49,7 @@ import (
 	"repro/internal/monitor"
 	"repro/internal/parallel"
 	"repro/internal/portfolio"
+	"repro/internal/risk"
 	"repro/internal/testbed"
 )
 
@@ -68,6 +70,9 @@ func main() {
 	slo := flag.Duration("slo", 500*time.Millisecond, "latency SLO threshold for the attainment tracker")
 	chaosScenario := flag.String("chaos-scenario", "", "chaos scenario to replay: a JSON file or a built-in name (empty = none)")
 	chaosDur := flag.Duration("chaos-duration", 10*time.Minute, "wall-clock window the chaos scenario timeline is mapped onto")
+	riskOn := flag.Bool("risk", false, "estimate revocation risk online from the event journal and plan against the corrected probabilities")
+	riskQuantile := flag.Float64("risk-quantile", 0, "risk estimator upper-credible-bound quantile (0 = default 0.90)")
+	riskHalfLife := flag.Float64("risk-halflife", 0, "risk estimator evidence half-life in catalog-hours (0 = default 24)")
 	flag.Parse()
 
 	kkt, err := portfolio.ParseKKTPath(*kktPath)
@@ -90,12 +95,20 @@ func main() {
 	cat := spotweb.SyntheticCatalog(spotweb.CatalogConfig{
 		Seed: *seed, NumTypes: *markets, Hours: 24 * 30,
 	})
-	ctrl, err := spotweb.NewController(spotweb.ControllerOptions{
+	ctrlOpts := spotweb.ControllerOptions{
 		Catalog: cat,
 		Optimizer: spotweb.OptimizerConfig{Horizon: 4, ChurnKappa: 1.0, Parallelism: *parallelism,
 			DisableWarmStart: !*warmStart, KKT: kkt},
 		Metrics: reg,
-	})
+	}
+	var est *risk.Estimator
+	if *riskOn {
+		est = risk.New(risk.Config{
+			Quantile: *riskQuantile, HalfLifeHrs: *riskHalfLife, Metrics: reg,
+		}, cat)
+		ctrlOpts.Risk = est
+	}
+	ctrl, err := spotweb.NewController(ctrlOpts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -142,6 +155,36 @@ func main() {
 	caps := make([]float64, cat.Len())
 	for i, m := range cat.Markets {
 		caps[i] = m.Type.Capacity * *capScale
+	}
+
+	// Journal-fed risk estimation: warnings stream into the estimator as
+	// they are recorded, and each planning interval closes out one estimator
+	// interval with the live exposure snapshot and catalog prices.
+	var planTick atomic.Int64
+	var feed *risk.Feed
+	if est != nil {
+		feed = risk.NewFeed(est, risk.FeedConfig{
+			Journal:  journal,
+			Interval: *interval,
+			Snapshot: func() ([]bool, []float64) {
+				t := int(planTick.Load())
+				if t >= cat.Intervals {
+					t = cat.Intervals - 1
+				}
+				counts := cluster.MarketCounts(cat.Len())
+				exposed := make([]bool, cat.Len())
+				prices := make([]float64, cat.Len())
+				for i, m := range cat.Markets {
+					exposed[i] = m.Transient && counts[i] > 0
+					prices[i] = m.PriceAt(t)
+				}
+				return exposed, prices
+			},
+		})
+		if feed == nil {
+			log.Printf("risk: estimator on but no journal (-metrics=false); planning from priors only")
+		}
+		feed.Start()
 	}
 
 	var mu sync.Mutex
@@ -222,6 +265,7 @@ func main() {
 				}
 			}
 			t++
+			planTick.Store(int64(t))
 		}
 	}()
 
@@ -251,6 +295,7 @@ func main() {
 	if err := monSrv.Shutdown(shCtx); err != nil {
 		log.Printf("shutdown: monitor server: %v", err)
 	}
+	feed.Close()
 	cluster.Close()
 	flushFinalSnapshot(reg, journal, collector)
 	log.Printf("shutdown complete")

@@ -69,6 +69,47 @@ var builtins = map[string]*Scenario{
 			{Kind: KindStorm, Start: 0.8, Count: 2, WarnScale: ptr(1)},
 		},
 	},
+	// The two lying-catalog scenarios run in adaptive-vs-oracle-prior
+	// comparison mode (see CatalogLie): the runner uses its wider lie
+	// catalog (6 instance types × 3 demand pools; transient markets at even
+	// indices, type i in group i%3, so group 0 = markets 0 and 6) and
+	// scores a risk-estimator planner against one that trusts the declared
+	// priors. Storms target the deceitful pool explicitly — a planner that
+	// has learned the pool's true rate sidesteps them.
+	// Both lie scenarios follow the same arc: an early full-warning storm on
+	// the deceitful pool teaches the estimator (and costs the oracle little —
+	// load is still low), then the pool turns hostile exactly when it hurts:
+	// a warning-loss window opens over the sustained high-load phase, so the
+	// pool's elevated NATURAL revocations land with zero notice, and two more
+	// storms hit the pool inside that window with no warning at all. A
+	// planner still allocated there eats unannounced capacity holes at peak;
+	// one that has learned the pool's true rate has already left.
+	"stale-catalog": {
+		Name:        "stale-catalog",
+		Description: "the catalog's revocation priors are a stale snapshot: one demand pool's actual rates run 6x the declared interval-0 values, plus unannounced storms on that pool at peak load",
+		CatalogLie:  &CatalogLie{Stale: true, ActualScale: 6, Groups: []int{0}},
+		Faults: []FaultSpec{
+			{Kind: KindStorm, Start: 0.2, Markets: []int{0, 6}, WarnScale: ptr(1)},
+			{Kind: KindPriceSpike, Start: 0.55, Duration: 0.45, Severity: 1.6, Markets: []int{0, 6}},
+			{Kind: KindWarningLoss, Start: 0.6, Duration: 0.35},
+			{Kind: KindStorm, Start: 0.65, Markets: []int{0, 6}, WarnScale: ptr(0)},
+			{Kind: KindStorm, Start: 0.75, Markets: []int{0, 6}, WarnScale: ptr(0)},
+			{Kind: KindStorm, Start: 0.85, Markets: []int{0, 6}, WarnScale: ptr(0)},
+		},
+	},
+	"adversarial-prior": {
+		Name:        "adversarial-prior",
+		Description: "an adversarial catalog declares p=0.001 everywhere while one demand pool actually revokes at p=0.18, with unannounced storms on that pool at peak load",
+		CatalogLie:  &CatalogLie{DeclaredFailProb: 0.001, ActualFailProb: 0.18, Groups: []int{0}},
+		Faults: []FaultSpec{
+			{Kind: KindStorm, Start: 0.2, Markets: []int{0, 6}, WarnScale: ptr(1)},
+			{Kind: KindPriceSpike, Start: 0.55, Duration: 0.45, Severity: 1.6, Markets: []int{0, 6}},
+			{Kind: KindWarningLoss, Start: 0.6, Duration: 0.35},
+			{Kind: KindStorm, Start: 0.65, Markets: []int{0, 6}, WarnScale: ptr(0)},
+			{Kind: KindStorm, Start: 0.75, Markets: []int{0, 6}, WarnScale: ptr(0)},
+			{Kind: KindStorm, Start: 0.85, Markets: []int{0, 6}, WarnScale: ptr(0)},
+		},
+	},
 }
 
 // BuiltinNames returns the built-in scenario names, sorted.

@@ -38,7 +38,13 @@ func TestBuiltinsCompile(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		in, err := Compile(sc, 42, 6)
+		// Lying-catalog scenarios target the runner's wider lie catalog (6
+		// types + on-demand twins = 12 markets); the rest use the standard 6.
+		markets := 6
+		if sc.CatalogLie != nil {
+			markets = 12
+		}
+		in, err := Compile(sc, 42, markets)
 		if err != nil {
 			t.Fatalf("compile %s: %v", name, err)
 		}

@@ -41,6 +41,39 @@ type Report struct {
 
 	// Score is the composite resilience score in [0, 100]; see Finalize.
 	Score float64 `json:"score"`
+
+	// Adaptive carries the adaptive-vs-oracle-prior comparison for
+	// lying-catalog scenarios (nil — and absent from the encoding — for
+	// ordinary scenarios, keeping their golden reports byte-stable). The
+	// primary fields above describe the ORACLE-PRIOR run (the planner that
+	// trusts the declared catalog); Adaptive describes the same faults with
+	// the online risk estimator in the loop.
+	Adaptive *AdaptiveComparison `json:"adaptive,omitempty"`
+}
+
+// AdaptiveComparison scores the risk-estimator planner against the
+// oracle-prior planner under identical faults, workload and seed.
+type AdaptiveComparison struct {
+	SLOAttainmentPct    float64 `json:"slo_attainment_pct"`
+	ViolationPct        float64 `json:"violation_pct"`
+	DropFraction        float64 `json:"drop_fraction"`
+	CostUSD             float64 `json:"cost_usd"`
+	Revocations         int     `json:"revocations"`
+	InjectedRevocations int     `json:"injected_revocations"`
+	Score               float64 `json:"score"`
+	// SLOGainPct is adaptive minus oracle-prior SLO attainment, in points.
+	SLOGainPct float64 `json:"slo_gain_pct"`
+	// CostDeltaPct is 100·(adaptive − oracle)/oracle; ≤ 0 means the
+	// adaptive planner was also cheaper.
+	CostDeltaPct float64 `json:"cost_delta_pct"`
+	// Changepoints is the number of price-regime shifts the estimator
+	// detected; MeanAbsDivergence is how far (mean |Δp| across transient
+	// markets) its published probabilities ended up from the declared ones.
+	Changepoints      int64   `json:"changepoints"`
+	MeanAbsDivergence float64 `json:"mean_abs_divergence"`
+	// Dominates records the acceptance condition: strictly better SLO
+	// attainment at equal-or-lower cost.
+	Dominates bool `json:"dominates"`
 }
 
 // Finalize derives the composite score and rounds every float to six
@@ -60,6 +93,28 @@ func (r *Report) Finalize() {
 		&r.CostDeltaPct, &r.BaselineViolationPct, &r.Score,
 	} {
 		*f = round6(*f)
+	}
+	if a := r.Adaptive; a != nil {
+		attain := clamp(a.SLOAttainmentPct, 0, 100)
+		survival := clamp(100*(1-a.DropFraction), 0, 100)
+		costDelta := 0.0
+		if r.BaselineCostUSD > 0 {
+			costDelta = 100 * (a.CostUSD - r.BaselineCostUSD) / r.BaselineCostUSD
+		}
+		cost := clamp(100-math.Max(0, costDelta), 0, 100)
+		a.Score = 0.5*attain + 0.25*survival + 0.25*cost
+		a.SLOGainPct = a.SLOAttainmentPct - r.SLOAttainmentPct
+		a.CostDeltaPct = 0
+		if r.CostUSD > 0 {
+			a.CostDeltaPct = 100 * (a.CostUSD - r.CostUSD) / r.CostUSD
+		}
+		a.Dominates = a.SLOGainPct > 0 && a.CostDeltaPct <= 0
+		for _, f := range []*float64{
+			&a.SLOAttainmentPct, &a.ViolationPct, &a.DropFraction, &a.CostUSD,
+			&a.Score, &a.SLOGainPct, &a.CostDeltaPct, &a.MeanAbsDivergence,
+		} {
+			*f = round6(*f)
+		}
 	}
 }
 

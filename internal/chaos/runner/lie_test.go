@@ -1,0 +1,72 @@
+package runner
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/chaos"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden lie-scenario reports")
+
+// TestLieScenarioGoldens is the acceptance gate for the adaptive risk
+// estimator: under both catalog-lie scenarios the adaptive planner must
+// strictly dominate the oracle-prior planner — better SLO attainment at
+// equal-or-lower cost — and the full scored report must match the checked-in
+// golden byte for byte (regenerate with `go test ./internal/chaos/runner
+// -run LieScenarioGoldens -update`).
+func TestLieScenarioGoldens(t *testing.T) {
+	for _, name := range []string{"stale-catalog", "adversarial-prior"} {
+		t.Run(name, func(t *testing.T) {
+			sc, err := chaos.Builtin(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := RunSim(SimOptions{Scenario: sc, Seed: 42, Quick: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ad := rep.Adaptive
+			if ad == nil {
+				t.Fatal("lie scenario produced no adaptive comparison")
+			}
+			if !ad.Dominates {
+				t.Fatalf("adaptive does not dominate oracle-prior: SLO gain %+.3f pts, cost delta %+.2f%%",
+					ad.SLOGainPct, ad.CostDeltaPct)
+			}
+			if ad.SLOGainPct <= 0 {
+				t.Fatalf("SLO gain %+.4f pts not strictly positive", ad.SLOGainPct)
+			}
+			if ad.CostDeltaPct > 0 {
+				t.Fatalf("adaptive costs %+.2f%% more than oracle", ad.CostDeltaPct)
+			}
+			if ad.MeanAbsDivergence <= 0 {
+				t.Fatal("estimator never diverged from the (lying) declared catalog")
+			}
+
+			b, err := rep.EncodeJSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", name+".json")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, b, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to regenerate)", err)
+			}
+			if !bytes.Equal(b, want) {
+				t.Fatalf("report drifted from golden %s (run with -update if intentional)", path)
+			}
+		})
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/portfolio"
 	"repro/internal/predict"
+	"repro/internal/risk"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -28,6 +29,32 @@ type SimOptions struct {
 	Seed int64
 	// Quick shrinks the run (36 intervals instead of 96) for CI smoke use.
 	Quick bool
+	// Risk overrides the estimator configuration used for the adaptive run
+	// of lying-catalog scenarios (nil = defaultRiskConfig).
+	Risk *risk.Config
+}
+
+// defaultRiskConfig is the estimator configuration for adaptive comparison
+// runs: a moderate upper credible bound, a half-life spanning the whole
+// quick (36-interval) run so the scarce exposure is kept rather than decayed
+// away, and mild demand-pool sharing — enough that a condemned market's
+// group-mates inherit suspicion, but not so much that one noisy neighbor
+// prices a clean market out of the portfolio. The changepoint detector is
+// detuned relative to the library default — the synthetic price processes
+// mean-revert with occasional genuine excursions, and a false trip that
+// wipes the evidence window costs far more here than a late reaction to a
+// real shift.
+func defaultRiskConfig() risk.Config {
+	return risk.Config{
+		Quantile:    0.85,
+		HalfLifeHrs: 48,
+		PoolWeight:  0.3,
+		Changepoint: risk.ChangepointConfig{
+			Threshold: 24,
+			Drift:     2,
+			Forget:    0.85,
+		},
+	}
 }
 
 // simWorkload builds the standard chaos workload: low utilization through
@@ -95,10 +122,67 @@ func spikedCatalog(cat *market.Catalog, in *chaos.Injector) *market.Catalog {
 	return out
 }
 
-// plannerPolicy adapts the portfolio planner to sim.Policy.
-type plannerPolicy struct{ planner *portfolio.Planner }
+// applyLie derives the DECLARED catalog (what the planner and the
+// estimator's prior see) from the freshly generated TRUTH catalog, then
+// rewrites the truth's targeted failure series per the lie. The declared
+// series are captured before the truth overrides, so a stale declaration
+// freezes the pre-drift interval-0 values.
+func applyLie(truth *market.Catalog, lie *chaos.CatalogLie) *market.Catalog {
+	declared := &market.Catalog{StepHrs: truth.StepHrs, Intervals: truth.Intervals}
+	for _, m := range truth.Markets {
+		mm := *m
+		if m.Transient {
+			v := lie.DeclaredFailProb
+			if lie.Stale {
+				v = m.FailProb.Values[0]
+			}
+			fp := *m.FailProb
+			fp.Values = make([]float64, len(m.FailProb.Values))
+			for i := range fp.Values {
+				fp.Values[i] = v
+			}
+			mm.FailProb = &fp
+		}
+		declared.Markets = append(declared.Markets, &mm)
+	}
+	target := map[int]bool{}
+	for _, g := range lie.Groups {
+		target[g] = true
+	}
+	for _, m := range truth.Markets {
+		if !m.Transient || (len(lie.Groups) > 0 && !target[m.Group]) {
+			continue
+		}
+		fp := *m.FailProb
+		fp.Values = append([]float64(nil), m.FailProb.Values...)
+		for i := range fp.Values {
+			switch {
+			case lie.ActualFailProb > 0:
+				fp.Values[i] = lie.ActualFailProb
+			case lie.ActualScale > 0:
+				fp.Values[i] *= lie.ActualScale
+				if fp.Values[i] > 0.5 {
+					fp.Values[i] = 0.5
+				}
+			}
+		}
+		m.FailProb = &fp
+	}
+	return declared
+}
 
-func (plannerPolicy) Name() string { return "spotweb" }
+// plannerPolicy adapts the portfolio planner to sim.Policy.
+type plannerPolicy struct {
+	planner *portfolio.Planner
+	name    string
+}
+
+func (p plannerPolicy) Name() string {
+	if p.name != "" {
+		return p.name
+	}
+	return "spotweb"
+}
 
 func (p plannerPolicy) Decide(t int, observed float64) ([]int, error) {
 	dec, err := p.planner.Step(t, observed)
@@ -108,38 +192,67 @@ func (p plannerPolicy) Decide(t int, observed float64) ([]int, error) {
 	return dec.Counts, nil
 }
 
-// runOnce executes one simulation over the catalog with an optional injector
-// and journal.
-func runOnce(cat *market.Catalog, wl *trace.Series, seed int64, in *chaos.Injector, j *metrics.Journal) (*sim.Result, error) {
-	cfg := portfolio.Config{
-		// Cap any single market at 40% of the allocation so the portfolio
-		// spreads over several markets — a Count=1 storm then removes a
-		// slice of capacity, not the whole fleet.
-		AMaxPerMarket: 0.4,
-	}.WithDefaults()
+// runSpec is one simulation leg. simCat drives revocation sampling and
+// billing (the truth); planCat feeds the planner's forecasts, covariance and
+// the estimator's prior (the declaration). They are the same catalog except
+// under a CatalogLie.
+type runSpec struct {
+	simCat, planCat *market.Catalog
+	cfg             portfolio.Config
+	wl              *trace.Series
+	seed            int64
+	in              *chaos.Injector
+	j               *metrics.Journal
+	est             *risk.Estimator
+	name            string
+}
+
+// runOnce executes one simulation leg.
+func runOnce(rs runSpec) (*sim.Result, error) {
 	wp := predict.NewSplinePredictor(predict.SplineConfig{
-		StepHrs: cat.StepHrs, ARLag1: true, CIProb: 0.99,
-	}, cfg.Horizon)
-	planner := portfolio.NewPlanner(cfg, cat, wp, portfolio.MeanRevertSource{Cat: cat})
+		StepHrs: rs.planCat.StepHrs, ARLag1: true, CIProb: 0.99,
+	}, rs.cfg.Horizon)
+	planner := portfolio.NewPlanner(rs.cfg, rs.planCat, wp, portfolio.MeanRevertSource{Cat: rs.planCat})
+	scfg := sim.Config{
+		Seed:            rs.seed,
+		TransiencyAware: true,
+		Chaos:           rs.in,
+		Journal:         rs.j,
+	}
+	if rs.est != nil {
+		// Adaptive leg: the simulator feeds the estimator ground truth
+		// synchronously and the planner pulls its overlay every round.
+		planner.RiskOverlay = rs.est
+		scfg.Risk = rs.est
+	}
 	s := &sim.Simulator{
-		Cfg: sim.Config{
-			Seed:            seed,
-			TransiencyAware: true,
-			Chaos:           in,
-			Journal:         j,
-		},
-		Cat:      cat,
-		Workload: wl,
-		Policy:   plannerPolicy{planner: planner},
+		Cfg:      scfg,
+		Cat:      rs.simCat,
+		Workload: rs.wl,
+		Policy:   plannerPolicy{planner: planner, name: rs.name},
 	}
 	return s.Run()
 }
 
+// basePortfolioConfig caps any single market at 40% of the allocation so the
+// portfolio spreads over several markets — a Count=1 storm then removes a
+// slice of capacity, not the whole fleet.
+func basePortfolioConfig() portfolio.Config {
+	return portfolio.Config{AMaxPerMarket: 0.4}.WithDefaults()
+}
+
 // RunSim executes a scenario on the simulator and returns its resilience
-// report (finalized, ready to encode).
+// report (finalized, ready to encode). Scenarios with a CatalogLie run in
+// comparison mode: the primary report fields score the oracle-prior planner
+// (it trusts the declared catalog, like every other scenario) and the
+// Adaptive section scores the risk-estimator planner under identical
+// faults, workload and seed.
 func RunSim(opt SimOptions) (*chaos.Report, error) {
 	if opt.Scenario == nil {
 		return nil, fmt.Errorf("runner: Scenario is required")
+	}
+	if opt.Scenario.CatalogLie != nil {
+		return runLieSim(opt)
 	}
 	hours := 96
 	if opt.Quick {
@@ -161,11 +274,18 @@ func RunSim(opt SimOptions) (*chaos.Report, error) {
 	wl := simWorkload(hours, cat)
 
 	j := metrics.NewJournal(8192)
-	res, err := runOnce(spikedCatalog(cat, in), wl, opt.Seed, in, j)
+	sp := spikedCatalog(cat, in)
+	res, err := runOnce(runSpec{
+		simCat: sp, planCat: sp,
+		cfg: basePortfolioConfig(), wl: wl, seed: opt.Seed, in: in, j: j,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("runner: chaos run: %w", err)
 	}
-	base, err := runOnce(cat, wl, opt.Seed, nil, nil)
+	base, err := runOnce(runSpec{
+		simCat: cat, planCat: cat,
+		cfg: basePortfolioConfig(), wl: wl, seed: opt.Seed,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("runner: baseline run: %w", err)
 	}
@@ -196,6 +316,117 @@ func RunSim(opt SimOptions) (*chaos.Report, error) {
 	}
 	if base.TotalCost > 0 {
 		rep.CostDeltaPct = 100 * (res.TotalCost - base.TotalCost) / base.TotalCost
+	}
+	rep.Finalize()
+	return rep, nil
+}
+
+// runLieSim executes a CatalogLie scenario in adaptive-vs-oracle-prior
+// comparison mode. The lie catalog is wider than the standard one — 6
+// instance types over 3 demand pools — so an adaptive planner that learns
+// one pool is deadly has enough clean transient capacity (4 markets × 40%
+// cap) to route around it without falling back to on-demand prices.
+func runLieSim(opt SimOptions) (*chaos.Report, error) {
+	lie := opt.Scenario.CatalogLie
+	hours := 96
+	if opt.Quick {
+		hours = 36
+	}
+	truth := market.CatalogConfig{
+		Seed:            opt.Seed,
+		NumTypes:        6,
+		IncludeOnDemand: true,
+		Hours:           hours,
+		SamplesPerHour:  1,
+		Groups:          3,
+		BaseFailProb:    0.02,
+	}.Generate()
+	declared := applyLie(truth, lie)
+	in, err := chaos.Compile(opt.Scenario, opt.Seed, truth.Len())
+	if err != nil {
+		return nil, err
+	}
+	wl := simWorkload(hours, truth)
+	spTruth := spikedCatalog(truth, in)
+	spDecl := spikedCatalog(declared, in)
+
+	// The failure probability only steers the MPO through the Eq. 4 term
+	// P·f·λ·L, so the comparison runs with a nonzero long-request fraction;
+	// both legs share the configuration, keeping the comparison fair. The
+	// per-market cap is loosened to 0.5 so that after the estimator condemns
+	// the deceitful pool, the remaining clean pool can still cover the
+	// allocation floor on spot capacity instead of spilling to on-demand.
+	cfg := basePortfolioConfig()
+	cfg.LongRequestFrac = 0.3
+	cfg.AMaxPerMarket = 0.5
+
+	jOracle := metrics.NewJournal(8192)
+	oracle, err := runOnce(runSpec{
+		simCat: spTruth, planCat: spDecl,
+		cfg: cfg, wl: wl, seed: opt.Seed, in: in, j: jOracle,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("runner: oracle-prior run: %w", err)
+	}
+
+	riskCfg := defaultRiskConfig()
+	if opt.Risk != nil {
+		riskCfg = *opt.Risk
+	}
+	est := risk.New(riskCfg, spDecl)
+	adaptive, err := runOnce(runSpec{
+		simCat: spTruth, planCat: spDecl,
+		cfg: cfg, wl: wl, seed: opt.Seed, in: in,
+		j: metrics.NewJournal(8192), est: est, name: "spotweb-adaptive",
+	})
+	if err != nil {
+		return nil, fmt.Errorf("runner: adaptive run: %w", err)
+	}
+
+	base, err := runOnce(runSpec{
+		simCat: truth, planCat: declared,
+		cfg: cfg, wl: wl, seed: opt.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("runner: baseline run: %w", err)
+	}
+
+	rep := &chaos.Report{
+		Scenario:             opt.Scenario.Name,
+		Seed:                 opt.Seed,
+		Policy:               oracle.Policy,
+		Intervals:            hours,
+		Markets:              truth.Len(),
+		InjectedRevocations:  oracle.InjectedRevocations,
+		NaturalRevocations:   oracle.Revocations - oracle.InjectedRevocations,
+		Actions:              make(map[string]int64, len(oracle.Actions)),
+		EventCounts:          jOracle.Counts(),
+		SLOAttainmentPct:     100 - oracle.ViolationPct,
+		ViolationPct:         oracle.ViolationPct,
+		DropFraction:         oracle.DropFraction(),
+		DroppedReqs:          oracle.Dropped,
+		MeanLatencySec:       oracle.MeanLatency,
+		OverloadSecs:         oracle.OverloadSecs,
+		AdmissionEvents:      int64(oracle.AdmissionEvents),
+		CostUSD:              oracle.TotalCost,
+		BaselineCostUSD:      base.TotalCost,
+		BaselineViolationPct: base.ViolationPct,
+		Adaptive: &chaos.AdaptiveComparison{
+			SLOAttainmentPct:    100 - adaptive.ViolationPct,
+			ViolationPct:        adaptive.ViolationPct,
+			DropFraction:        adaptive.DropFraction(),
+			CostUSD:             adaptive.TotalCost,
+			Revocations:         adaptive.Revocations,
+			InjectedRevocations: adaptive.InjectedRevocations,
+			Changepoints:        est.Changepoints(),
+			MeanAbsDivergence:   est.MeanAbsDivergence(),
+		},
+	}
+	for k, v := range oracle.Actions {
+		rep.Actions[k] = int64(v)
+	}
+	if base.TotalCost > 0 {
+		rep.CostDeltaPct = 100 * (oracle.TotalCost - base.TotalCost) / base.TotalCost
 	}
 	rep.Finalize()
 	return rep, nil

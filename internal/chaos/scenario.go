@@ -83,6 +83,64 @@ type FaultSpec struct {
 	Prob float64 `json:"prob,omitempty"`
 }
 
+// CatalogLie makes the catalog lie: the planner (and the risk estimator's
+// prior) see DECLARED failure probabilities while the simulator samples
+// revocations from the ACTUAL ones. It models a stale or adversarial
+// catalog — the regime the online risk estimator exists to survive — and
+// puts the execution layer into adaptive-vs-oracle-prior comparison mode.
+// All probabilities are per-interval and clamped to [0, 0.5] like the
+// synthetic generator's.
+type CatalogLie struct {
+	// DeclaredFailProb, when > 0, replaces every transient market's declared
+	// probability with this constant (the adversarial "everything is safe"
+	// story). Mutually exclusive with Stale.
+	DeclaredFailProb float64 `json:"declared_fail_prob,omitempty"`
+	// Stale freezes the declared series at its interval-0 value: the
+	// catalog was measured once and never refreshed while reality drifted.
+	Stale bool `json:"stale,omitempty"`
+	// ActualFailProb, when > 0, sets the true probability of the targeted
+	// markets to this constant (group-correlated at simulation time).
+	ActualFailProb float64 `json:"actual_fail_prob,omitempty"`
+	// ActualScale, when > 0, multiplies the targeted markets' true series
+	// instead of replacing it.
+	ActualScale float64 `json:"actual_scale,omitempty"`
+	// Groups restricts the ActualFailProb/ActualScale override to these
+	// demand-pool groups (empty = all transient markets).
+	Groups []int `json:"groups,omitempty"`
+}
+
+// Validate checks the lie for internal consistency.
+func (l *CatalogLie) Validate(scenario string) error {
+	if l == nil {
+		return nil
+	}
+	where := fmt.Sprintf("chaos: scenario %q catalog_lie", scenario)
+	if l.DeclaredFailProb == 0 && !l.Stale {
+		return fmt.Errorf("%s: needs declared_fail_prob or stale", where)
+	}
+	if l.DeclaredFailProb != 0 && l.Stale {
+		return fmt.Errorf("%s: declared_fail_prob and stale are mutually exclusive", where)
+	}
+	if l.DeclaredFailProb < 0 || l.DeclaredFailProb > 0.5 {
+		return fmt.Errorf("%s: declared_fail_prob %g outside [0,0.5]", where, l.DeclaredFailProb)
+	}
+	if l.ActualFailProb < 0 || l.ActualFailProb > 0.5 {
+		return fmt.Errorf("%s: actual_fail_prob %g outside [0,0.5]", where, l.ActualFailProb)
+	}
+	if l.ActualScale < 0 {
+		return fmt.Errorf("%s: actual_scale %g negative", where, l.ActualScale)
+	}
+	if l.ActualFailProb > 0 && l.ActualScale > 0 {
+		return fmt.Errorf("%s: actual_fail_prob and actual_scale are mutually exclusive", where)
+	}
+	for _, g := range l.Groups {
+		if g < 0 {
+			return fmt.Errorf("%s: negative group %d", where, g)
+		}
+	}
+	return nil
+}
+
 // Scenario is one declarative fault plan.
 type Scenario struct {
 	Name        string `json:"name"`
@@ -92,7 +150,11 @@ type Scenario struct {
 	// markets i and j (diagonal is forced to 1). Optional; identity when
 	// absent.
 	Correlation [][]float64 `json:"correlation,omitempty"`
-	Faults      []FaultSpec `json:"faults"`
+	// CatalogLie, when set, splits the run into declared-vs-actual
+	// catalogs; the execution layer then scores an adaptive (risk-estimator)
+	// planner against the oracle-prior planner that trusts the declaration.
+	CatalogLie *CatalogLie `json:"catalog_lie,omitempty"`
+	Faults     []FaultSpec `json:"faults"`
 }
 
 // Validate checks the scenario for internal consistency.
@@ -102,6 +164,9 @@ func (s *Scenario) Validate() error {
 	}
 	if len(s.Faults) == 0 {
 		return fmt.Errorf("chaos: scenario %q has no faults", s.Name)
+	}
+	if err := s.CatalogLie.Validate(s.Name); err != nil {
+		return err
 	}
 	for i := range s.Correlation {
 		if len(s.Correlation[i]) != len(s.Correlation) {

@@ -288,6 +288,7 @@ func DiscussionStartupDelay(w io.Writer, opt Options) StartupDelayResult {
 				HighUtil: opt.HighUtil, WarningSec: opt.WarningSec},
 			Cat: cat, Workload: wl, Policy: pol,
 		}
+		attachRisk(opt, s, pol)
 		r, err := s.Run()
 		if err != nil {
 			panic(err)
@@ -332,6 +333,7 @@ func DiscussionGoogleCloud(w io.Writer, opt Options) GoogleCloudResult {
 				HighUtil:       opt.HighUtil, WarningSec: opt.WarningSec},
 			Cat: cat, Workload: wl, Policy: pol,
 		}
+		attachRisk(opt, s, pol)
 		r, err := s.Run()
 		if err != nil {
 			panic(err)

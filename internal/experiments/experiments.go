@@ -10,7 +10,9 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/autoscale"
 	"repro/internal/portfolio"
+	"repro/internal/risk"
 	"repro/internal/sim"
 )
 
@@ -39,6 +41,35 @@ type Options struct {
 	// dense assembled KKT below n·h = 128, structure-exploiting block
 	// factorization at or above it; see DESIGN.md §10).
 	KKT portfolio.KKTPath
+	// Risk attaches the online revocation-risk estimator (internal/risk) to
+	// every SpotWeb policy a figure runs: the simulator feeds it ground
+	// truth and the planner consults its confidence-widened overlay instead
+	// of the raw catalog probabilities (the -risk path; see DESIGN.md §12).
+	Risk bool
+	// RiskQuantile overrides the estimator's upper-credible-bound quantile
+	// (0 keeps the default 0.90).
+	RiskQuantile float64
+	// RiskHalfLife overrides the evidence half-life in catalog-hours
+	// (0 keeps the default 24).
+	RiskHalfLife float64
+}
+
+// attachRisk wires the online risk estimator between a simulator and the
+// policy's planner when Options.Risk is set: the simulator streams ground
+// truth (revocations, exposure, prices) into the estimator, and the planner
+// pulls the resulting overlay before every solve. A no-op for non-SpotWeb
+// policies and when risk scoring is disabled, so baselines stay untouched.
+func attachRisk(opt Options, s *sim.Simulator, pol sim.Policy) {
+	if !opt.Risk {
+		return
+	}
+	sw, ok := pol.(*autoscale.SpotWeb)
+	if !ok {
+		return
+	}
+	est := risk.New(risk.Config{Quantile: opt.RiskQuantile, HalfLifeHrs: opt.RiskHalfLife}, s.Cat)
+	s.Cfg.Risk = est
+	sw.Planner.RiskOverlay = est
 }
 
 func (o Options) seed() int64 {

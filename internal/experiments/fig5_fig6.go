@@ -157,6 +157,7 @@ func mustRun(cat *market.Catalog, wl *trace.Series, pol sim.Policy, opt Options,
 		Workload: wl,
 		Policy:   pol,
 	}
+	attachRisk(opt, s, pol)
 	res, err := s.Run()
 	if err != nil {
 		panic(err)

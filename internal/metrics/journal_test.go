@@ -1,0 +1,141 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSubscribeDeliversInOrder(t *testing.T) {
+	j := NewJournal(16)
+	sub := j.Subscribe(8)
+	for i := 0; i < 5; i++ {
+		j.Record(EvWarning, -1, i, "")
+	}
+	for i := 0; i < 5; i++ {
+		ev := <-sub.C
+		if ev.Market != i || ev.Type != EvWarning {
+			t.Fatalf("event %d = %+v", i, ev)
+		}
+	}
+	if d := sub.Dropped(); d != 0 {
+		t.Fatalf("dropped %d with a keeping-up consumer", d)
+	}
+}
+
+func TestSubscribeDropsOldestOnOverflow(t *testing.T) {
+	j := NewJournal(16)
+	sub := j.Subscribe(4)
+	for i := 0; i < 10; i++ {
+		j.Record(EvWarning, -1, i, "")
+	}
+	// Buffer holds 4: the first 6 were evicted oldest-first, so the
+	// survivors are markets 6..9.
+	if d := sub.Dropped(); d != 6 {
+		t.Fatalf("dropped = %d, want 6", d)
+	}
+	for want := 6; want < 10; want++ {
+		ev := <-sub.C
+		if ev.Market != want {
+			t.Fatalf("surviving event market = %d, want %d", ev.Market, want)
+		}
+	}
+	select {
+	case ev := <-sub.C:
+		t.Fatalf("unexpected extra event %+v", ev)
+	default:
+	}
+}
+
+// TestSubscribeBaselineBeatsRingEviction is the regression test for the
+// 1024-ring undercount: a subscriber attaching after the ring has wrapped
+// must still see the journal's full lifetime history via Baseline, not just
+// the retained tail.
+func TestSubscribeBaselineBeatsRingEviction(t *testing.T) {
+	j := NewJournal(1024)
+	const pre = 2000
+	for i := 0; i < pre; i++ {
+		j.Record(EvWarning, -1, 0, "")
+	}
+	if j.Len() != 1024 {
+		t.Fatalf("ring retained %d", j.Len())
+	}
+	sub := j.Subscribe(8)
+	base := sub.Baseline()
+	if base[EvWarning] != pre {
+		t.Fatalf("baseline = %d, want %d (ring eviction must not undercount)", base[EvWarning], pre)
+	}
+	// Events after attach are deliveries, not baseline: no double counting.
+	j.Record(EvWarning, -1, 1, "")
+	if got := sub.Baseline()[EvWarning]; got != pre {
+		t.Fatalf("baseline moved to %d after attach", got)
+	}
+	ev := <-sub.C
+	if ev.Market != 1 {
+		t.Fatalf("post-attach delivery = %+v", ev)
+	}
+}
+
+func TestUnsubscribeClosesChannel(t *testing.T) {
+	j := NewJournal(16)
+	sub := j.Subscribe(4)
+	j.Unsubscribe(sub)
+	if _, ok := <-sub.C; ok {
+		t.Fatal("channel still open after Unsubscribe")
+	}
+	// Records after detach must not panic or deliver.
+	j.Record(EvWarning, -1, 0, "")
+	j.Unsubscribe(sub) // double-detach is a no-op
+}
+
+func TestSubscribeNilJournal(t *testing.T) {
+	var j *Journal
+	if s := j.Subscribe(4); s != nil {
+		t.Fatal("nil journal must return nil subscription")
+	}
+	j.Unsubscribe(nil)
+	var s *Subscription
+	if s.Dropped() != 0 || s.Baseline() != nil {
+		t.Fatal("nil subscription accessors must be no-ops")
+	}
+}
+
+// TestSubscribeConcurrentRecorders hammers one subscription from many
+// recording goroutines while the consumer drains; run under -race this
+// doubles as the journal-side half of the feed stress test. Conservation:
+// delivered + dropped + still-buffered = recorded.
+func TestSubscribeConcurrentRecorders(t *testing.T) {
+	j := NewJournal(64)
+	sub := j.Subscribe(32)
+	const (
+		writers = 8
+		each    = 500
+	)
+	var received int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range sub.C {
+			received++
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				j.Record(EvWarning, -1, w, "")
+			}
+		}(w)
+	}
+	wg.Wait()
+	j.Unsubscribe(sub) // closes C; consumer drains what's left and exits
+	<-done
+	total := received + sub.Dropped()
+	if total != writers*each {
+		t.Fatalf("received %d + dropped %d = %d, want %d", received, sub.Dropped(), total, writers*each)
+	}
+	if c := j.Counts()[EvWarning]; c != writers*each {
+		t.Fatalf("lifetime count %d", c)
+	}
+}

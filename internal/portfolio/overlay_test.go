@@ -1,0 +1,122 @@
+package portfolio
+
+import (
+	"testing"
+
+	"repro/internal/market"
+	"repro/internal/metrics"
+)
+
+// stubOverlay is a hand-cranked OverlayProvider: tests swap the published
+// pointer between planner rounds exactly as a live estimator would.
+type stubOverlay struct{ ov *market.Overlay }
+
+func (s *stubOverlay) Overlay() *market.Overlay { return s.ov }
+
+// TestPlannerAppliesOverlayToFailProbs: condemning one transient market via
+// the overlay must push allocation out of it relative to the same solve
+// without the overlay — proof that the override reaches the optimizer's
+// failure inputs, not just the metrics.
+func TestPlannerAppliesOverlayToFailProbs(t *testing.T) {
+	cat := market.CatalogConfig{Seed: 11, NumTypes: 6, Hours: 48}.Generate()
+
+	alloc := func(provider OverlayProvider) []float64 {
+		pl := NewPlanner(Config{Horizon: 4, ChurnKappa: 0.5, LongRequestFrac: 0.3},
+			cat, testPredictor(cat), ReactiveSource{Cat: cat})
+		pl.RiskOverlay = provider
+		var shares []float64
+		for tick := 0; tick < 6; tick++ {
+			dec, err := pl.Step(tick, sineLoad(tick))
+			if err != nil {
+				t.Fatalf("step %d: %v", tick, err)
+			}
+			shares = dec.Plan.First()
+		}
+		return shares
+	}
+
+	// Condemn the transient market the baseline solve leans on hardest, so
+	// the override has real allocation to displace.
+	base := alloc(nil)
+	condemned := -1
+	for i, m := range cat.Markets {
+		if m.Transient && (condemned < 0 || base[i] > base[condemned]) {
+			condemned = i
+		}
+	}
+	if condemned < 0 || base[condemned] <= 0.05 {
+		t.Fatalf("no transient market carries baseline allocation (max share %v)", base)
+	}
+
+	fail := make([]float64, cat.Len())
+	for i := range fail {
+		fail[i] = -1 // no override
+	}
+	fail[condemned] = 0.9
+	withOverlay := alloc(&stubOverlay{ov: &market.Overlay{FailProb: fail, Version: 1}})[condemned]
+	baseline := base[condemned]
+
+	if withOverlay >= baseline {
+		t.Fatalf("condemned market share %.4f with overlay, %.4f without — overlay not applied", withOverlay, baseline)
+	}
+	if withOverlay > 0.02 {
+		t.Fatalf("condemned market still holds %.4f of the portfolio", withOverlay)
+	}
+}
+
+// TestPlannerOverlayEpochInvalidatesWarmStart: value drift (Version bump,
+// same Epoch) must keep the warm state; an Epoch bump must drop it exactly
+// once and tick the dedicated counter.
+func TestPlannerOverlayEpochInvalidatesWarmStart(t *testing.T) {
+	cat := market.CatalogConfig{Seed: 11, NumTypes: 6, Hours: 48}.Generate()
+	reg := metrics.NewRegistry()
+	fail := make([]float64, cat.Len())
+	for i := range fail {
+		fail[i] = -1
+	}
+	prov := &stubOverlay{ov: &market.Overlay{FailProb: fail, Version: 1}}
+	pl := NewPlanner(Config{Horizon: 4, ChurnKappa: 0.5}, cat, testPredictor(cat), ReactiveSource{Cat: cat})
+	pl.RiskOverlay = prov
+	pl.Metrics = reg
+	invalidations := reg.Counter("spotweb_planner_overlay_invalidations_total",
+		"Warm-start states dropped because the risk overlay epoch changed (regime shift).")
+
+	step := func(tick int) *Decision {
+		t.Helper()
+		dec, err := pl.Step(tick, sineLoad(tick))
+		if err != nil {
+			t.Fatalf("step %d: %v", tick, err)
+		}
+		return dec
+	}
+
+	// Build warm state, then drift the overlay value only: warm start must
+	// survive — per-round drift moves the linear term, not the structure.
+	for tick := 0; tick < 3; tick++ {
+		step(tick)
+	}
+	prov.ov = &market.Overlay{FailProb: fail, Version: 2}
+	if dec := step(3); !dec.Plan.WarmStarted {
+		t.Fatal("version-only overlay drift dropped the warm start")
+	}
+	if v := invalidations.Value(); v != 0 {
+		t.Fatalf("invalidation counter = %d after version drift, want 0", v)
+	}
+
+	// Epoch bump = regime shift: the cached trajectory is stale, solve cold.
+	prov.ov = &market.Overlay{FailProb: fail, Version: 3, Epoch: 1}
+	if dec := step(4); dec.Plan.WarmStarted {
+		t.Fatal("epoch bump did not invalidate the warm start")
+	}
+	if v := invalidations.Value(); v != 1 {
+		t.Fatalf("invalidation counter = %d after epoch bump, want 1", v)
+	}
+
+	// Same epoch next round: warm state rebuilt under epoch 1 is reusable.
+	if dec := step(5); !dec.Plan.WarmStarted {
+		t.Fatal("planner did not recover warm starts under the new epoch")
+	}
+	if v := invalidations.Value(); v != 1 {
+		t.Fatalf("invalidation counter = %d after recovery, want still 1", v)
+	}
+}

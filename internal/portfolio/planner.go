@@ -120,6 +120,14 @@ func (n NoisySource) PerReqCosts(t, h int) [][]float64 {
 // FailProbs implements ForecastSource.
 func (n NoisySource) FailProbs(t, h int) [][]float64 { return n.Base.FailProbs(t, h) }
 
+// OverlayProvider supplies the latest risk overlay — estimator-corrected
+// failure probabilities the planner applies on top of its forecast source.
+// Implemented by *risk.Estimator; a nil provider (or a provider returning a
+// nil overlay) leaves the declared forecasts untouched.
+type OverlayProvider interface {
+	Overlay() *market.Overlay
+}
+
 // Planner is the receding-horizon controller: each interval it observes the
 // actual workload, refreshes forecasts, solves the MPO program and returns
 // the first-interval allocation and server counts.
@@ -128,6 +136,12 @@ type Planner struct {
 	Cat      *market.Catalog
 	Workload predict.Predictor
 	Source   ForecastSource
+	// RiskOverlay, when set, is consulted before every solve: overlay
+	// overrides replace the forecast failure probabilities across the whole
+	// horizon (the estimator's view is a per-interval rate, so the reactive
+	// "future = corrected present" assumption applies). Nil = declared
+	// probabilities only.
+	RiskOverlay OverlayProvider
 	// CovWindow is the trailing window (in intervals) for the covariance
 	// matrix M; 0 means 14 days.
 	CovWindow int
@@ -153,6 +167,14 @@ type Planner struct {
 	warmH    int
 	warmCat  *market.Catalog
 	warmKind SolverKind
+	// warmEpoch pins the overlay epoch the warm state was captured under.
+	// Per-round overlay value drift only moves the linear cost term (the
+	// solver's cached KKT factor hashes P/A/σ/ρ, not q) so the state stays
+	// valid; an epoch bump means a detected regime shift re-anchored the
+	// estimator, and the stale trajectory is dropped for a cold re-solve.
+	warmEpoch uint64
+	// ovEpoch is the overlay epoch observed by the latest Step.
+	ovEpoch uint64
 }
 
 // NewPlanner wires a planner with defaults.
@@ -214,6 +236,18 @@ func (p *Planner) Step(t int, actualLambda float64) (*Decision, error) {
 		PrevAlloc:    p.prevAlloc,
 		ShortfallMAE: mae,
 	}
+	if p.RiskOverlay != nil {
+		if ov := p.RiskOverlay.Overlay(); ov != nil {
+			for _, row := range in.FailProb {
+				ov.Apply(row)
+			}
+			p.ovEpoch = ov.Epoch
+			if m := p.Metrics; m != nil {
+				m.Gauge("spotweb_plan_overlay_version",
+					"Version of the risk overlay applied to the last solve.").Set(float64(ov.Version))
+			}
+		}
+	}
 	plan, err := p.solve(in)
 	if err != nil {
 		p.Metrics.Counter("spotweb_solver_errors_total", "MPO solves that failed.").Inc()
@@ -263,6 +297,14 @@ func (p *Planner) solve(in *Inputs) (*Plan, error) {
 		p.Metrics.Counter("spotweb_planner_warm_invalidations_total",
 			"Warm-start states dropped because the market set, horizon or solver changed.").Inc()
 	}
+	if p.warm != nil && p.warmEpoch != p.ovEpoch {
+		// Overlay epoch bump = the risk estimator detected a price-process
+		// regime shift and re-anchored. The cached trajectory tracked the
+		// old regime's cost surface; start the new one cold.
+		p.warm = nil
+		p.Metrics.Counter("spotweb_planner_overlay_invalidations_total",
+			"Warm-start states dropped because the risk overlay epoch changed (regime shift).").Inc()
+	}
 	warmUsed := p.warm != nil
 	plan, err := OptimizeWarm(p.Cfg, in, p.warm)
 	p.warm = nil // consumed (or about to be replaced)
@@ -282,6 +324,7 @@ func (p *Planner) solve(in *Inputs) (*Plan, error) {
 		p.warm = plan.warm
 		p.warm.ShiftHorizon(n)
 		p.warmN, p.warmH, p.warmCat, p.warmKind = n, h, p.Cat, p.Cfg.Solver
+		p.warmEpoch = p.ovEpoch
 	}
 	return plan, nil
 }

@@ -31,6 +31,16 @@ type Policy interface {
 	Decide(t int, observedLambda float64) ([]int, error)
 }
 
+// RiskObserver receives the ground-truth signal stream an online risk
+// estimator consumes: revocation warnings as they fire, and one
+// end-of-interval snapshot of exposure (which markets held live servers)
+// and prices. Implemented by *risk.Estimator; the simulator calls it
+// synchronously so adaptive runs stay byte-deterministic.
+type RiskObserver interface {
+	ObserveRevocation(market int, injected bool)
+	ObserveInterval(t int, exposed []bool, prices []float64)
+}
+
 // Config parameterizes a simulation run.
 type Config struct {
 	// Seed drives revocation sampling.
@@ -73,6 +83,11 @@ type Config struct {
 	// drain decisions, replacement launches, terminations and
 	// admission-control transitions) for resilience scoring. Nil is free.
 	Journal *metrics.Journal
+	// Risk, when non-nil, is fed the revocation/exposure/price stream the
+	// online risk estimator consumes (one ObserveInterval per simulated
+	// interval, after its revocations fired and before the next planning
+	// round). Nil costs one branch per interval.
+	Risk RiskObserver
 	// QueueDeadlineSec lets the admission controller *delay* rather than
 	// drop overload (§4.4: "dropping or delaying requests"): excess
 	// requests wait in a bounded FIFO and are served late (counted as SLO
@@ -286,6 +301,18 @@ func (s *Simulator) Run() (*Result, error) {
 		res.Launches += started
 		res.Stops += stopped
 
+		// Exposure snapshot for the risk estimator: a market-interval is
+		// "observed" when the market holds live servers at the moment
+		// revocations are sampled — exactly the Bernoulli trial the
+		// catalog's per-interval probability describes.
+		var exposed []bool
+		if cfg.Risk != nil {
+			exposed = make([]bool, s.Cat.Len())
+			for i, m := range s.Cat.Markets {
+				exposed[i] = m.Transient && len(cl.ServersInMarket(i)) > 0
+			}
+		}
+
 		// Sample correlated revocations for this interval (Gaussian copula
 		// over market groups).
 		var revs []*revocation
@@ -385,6 +412,9 @@ func (s *Simulator) Run() (*Result, error) {
 				detail := "natural"
 				if rv.injected {
 					detail = "injected"
+				}
+				if cfg.Risk != nil {
+					cfg.Risk.ObserveRevocation(rv.market, rv.injected)
 				}
 				lost := 0.0
 				for _, srv := range cl.ServersInMarket(rv.market) {
@@ -555,6 +585,17 @@ func (s *Simulator) Run() (*Result, error) {
 			im.Latency = imLatWeighted / im.Served
 		}
 		res.Intervals = append(res.Intervals, im)
+
+		// Close out the estimator's interval: decay, fold in this interval's
+		// revocations and exposure, run changepoint detection on the current
+		// prices, and publish a fresh overlay for the next planning round.
+		if cfg.Risk != nil {
+			prices := make([]float64, s.Cat.Len())
+			for i, m := range s.Cat.Markets {
+				prices[i] = m.PriceAt(t)
+			}
+			cfg.Risk.ObserveInterval(t, exposed, prices)
+		}
 
 		// Advance to the interval boundary.
 		advance(tEnd)

@@ -1,0 +1,64 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBetaCDFKnownValues(t *testing.T) {
+	cases := []struct {
+		x, a, b, want float64
+	}{
+		// Beta(1,1) is uniform.
+		{0.25, 1, 1, 0.25},
+		{0.75, 1, 1, 0.75},
+		// Beta(2,2): CDF = 3x² − 2x³.
+		{0.5, 2, 2, 0.5},
+		{0.25, 2, 2, 3*0.0625 - 2*0.015625},
+		// Beta(1,5): CDF = 1 − (1−x)⁵.
+		{0.2, 1, 5, 1 - math.Pow(0.8, 5)},
+		// Symmetry: I_{0.3}(5,2) = 1 − I_{0.7}(2,5), and for integer shapes
+		// I_{0.7}(2,5) = 1 − 0.3⁶ − 6·0.7·0.3⁵ = 0.989065.
+		{0.3, 5, 2, 0.010935},
+	}
+	for _, c := range cases {
+		got := BetaCDF(c.x, c.a, c.b)
+		if math.Abs(got-c.want) > 1e-4 {
+			t.Errorf("BetaCDF(%g, %g, %g) = %.6f, want %.6f", c.x, c.a, c.b, got, c.want)
+		}
+	}
+	if got := BetaCDF(-0.1, 2, 2); got != 0 {
+		t.Errorf("CDF below support = %v", got)
+	}
+	if got := BetaCDF(1.1, 2, 2); got != 1 {
+		t.Errorf("CDF above support = %v", got)
+	}
+}
+
+func TestBetaQuantileInvertsCDF(t *testing.T) {
+	for _, a := range []float64{0.5, 1, 2, 8, 40} {
+		for _, b := range []float64{0.5, 1, 3, 20, 400} {
+			for _, p := range []float64{0.05, 0.25, 0.5, 0.85, 0.99} {
+				x := BetaQuantile(p, a, b)
+				if x < 0 || x > 1 {
+					t.Fatalf("quantile(%g; %g,%g) = %g outside [0,1]", p, a, b, x)
+				}
+				back := BetaCDF(x, a, b)
+				if math.Abs(back-p) > 1e-9 {
+					t.Errorf("CDF(Quantile(%g; %g,%g)) = %g", p, a, b, back)
+				}
+			}
+		}
+	}
+}
+
+func TestBetaQuantileMonotone(t *testing.T) {
+	prev := -1.0
+	for p := 0.01; p < 1; p += 0.01 {
+		x := BetaQuantile(p, 3, 7)
+		if x < prev {
+			t.Fatalf("quantile not monotone at p=%g: %g < %g", p, x, prev)
+		}
+		prev = x
+	}
+}

@@ -26,7 +26,7 @@ go build -o "$BIN" ./cmd/spotwebd
 
 echo "==> starting spotwebd (lb :$LB_PORT, monitor :$MON_PORT, ${RUNTIME}s)"
 "$BIN" -listen "127.0.0.1:$LB_PORT" -monitor "127.0.0.1:$MON_PORT" \
-    -interval 2s -warning 2s 2>"$LOG" &
+    -interval 2s -warning 2s -risk 2>"$LOG" &
 PID=$!
 
 # Wait for the monitor endpoint to come up (the LB starts with it).
@@ -83,6 +83,9 @@ check_metric "spotweb_lb_sticky_hits_total"
 check_metric "spotweb_slo_attainment_ratio"
 check_metric "spotweb_solver_solves_total"
 check_metric "spotweb_backends_live"
+check_metric "spotweb_risk_fail_prob"
+check_metric "spotweb_risk_divergence"
+check_metric "spotweb_risk_events_total"
 
 served=$(echo "$METRICS" | awk '$1 == "spotweb_lb_requests_total" {print int($2)}')
 [ "${served:-0}" -gt 0 ] || {

@@ -118,6 +118,10 @@ type ControllerOptions struct {
 	// Metrics, when set, instruments the control loop (solver iterations,
 	// wall time, residual, plan churn, expected spend).
 	Metrics *MetricsRegistry
+	// Risk, when set, supplies a live failure-probability overlay the
+	// planner consults before every solve (the internal/risk estimator fed
+	// from the event journal; nil keeps the declared catalog values).
+	Risk portfolio.OverlayProvider
 }
 
 // Decision is the per-interval controller output.
@@ -171,6 +175,7 @@ func NewController(opt ControllerOptions) (*Controller, error) {
 	}
 	planner := portfolio.NewPlanner(cfg, opt.Catalog, wl, src)
 	planner.Metrics = opt.Metrics
+	planner.RiskOverlay = opt.Risk
 	return &Controller{
 		planner: planner,
 		cat:     opt.Catalog,
