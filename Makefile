@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-warm bench-kkt bench-lb bench-gate loadgen fmt vet fuzz-smoke smoke chaos chaos-golden risk-sim ci
+.PHONY: build test race bench bench-warm bench-kkt bench-lb bench-fed bench-gate loadgen fmt vet fuzz-smoke smoke chaos chaos-golden risk-sim ci
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,12 @@ bench-kkt:
 # max-RPS) into BENCH_lb.json — run after an intentional data-plane change.
 bench-lb:
 	sh scripts/bench_lb.sh
+
+# bench-fed regenerates the federated-planner scale artifact (8 regions x
+# 10 AZs x 125 types = 10,000 markets over 80 shards, plus the 2/4/8-region
+# scaling curve) into BENCH_fed.json — the DESIGN.md §13 numbers.
+bench-fed:
+	sh scripts/bench_fed.sh
 
 # bench-gate reruns the LB benchmarks and fails on a >20% ns/op regression
 # against the checked-in BENCH_lb.json (what CI's bench-gate job runs).

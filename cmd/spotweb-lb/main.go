@@ -88,9 +88,7 @@ func main() {
 	chaosDur := flag.Duration("chaos-duration", time.Minute, "wall-clock window the chaos scenario timeline is mapped onto")
 	chaosMarkets := flag.Int("chaos-markets", 3, "synthetic markets the backends are spread over for chaos targeting")
 	seed := flag.Int64("seed", 42, "seed for chaos scenario compilation")
-	riskOn := flag.Bool("risk", false, "estimate per-market revocation risk online from the event journal (spotweb_risk_* on /metrics)")
-	riskQuantile := flag.Float64("risk-quantile", 0, "risk estimator upper-credible-bound quantile (0 = default 0.90)")
-	riskHalfLife := flag.Float64("risk-halflife", 0, "risk estimator evidence half-life in catalog-hours (0 = default 24)")
+	riskFlags := risk.BindFlags(flag.CommandLine)
 	flag.Parse()
 
 	caps, err := parseFloats(*backendsFlag)
@@ -162,10 +160,8 @@ func main() {
 	// learns purely from the journal's revocation warnings. Its corrected,
 	// confidence-widened estimates surface as spotweb_risk_* on /metrics.
 	var feed *risk.Feed
-	if *riskOn {
-		est := risk.New(risk.Config{
-			Quantile: *riskQuantile, HalfLifeHrs: *riskHalfLife, Metrics: reg,
-		}, flatCatalog(*chaosMarkets))
+	if riskFlags.Enabled() {
+		est := riskFlags.Estimator(flatCatalog(*chaosMarkets), reg)
 		feed = risk.NewFeed(est, risk.FeedConfig{
 			Journal:  journal,
 			Interval: time.Second,

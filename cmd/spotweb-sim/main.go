@@ -14,9 +14,11 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/federation"
 	"repro/internal/linalg"
 	"repro/internal/parallel"
 	"repro/internal/portfolio"
+	"repro/internal/risk"
 )
 
 func main() {
@@ -29,9 +31,9 @@ func main() {
 	warning := flag.Float64("warning", 120, "revocation warning period in seconds")
 	warmStart := flag.Bool("warm-start", true, "warm-start receding-horizon solves from the previous round's shifted solver state")
 	kktPath := flag.String("kkt", "auto", "ADMM KKT backend: auto (size-based), dense, or sparse (structure-exploiting)")
-	riskOn := flag.Bool("risk", false, "attach the online revocation-risk estimator to every SpotWeb policy run")
-	riskQuantile := flag.Float64("risk-quantile", 0, "estimator upper-credible-bound quantile (0 = default 0.90)")
-	riskHalfLife := flag.Float64("risk-halflife", 0, "estimator evidence half-life in catalog-hours (0 = default 24)")
+	riskFlags := risk.BindFlags(flag.CommandLine)
+	fedFlags := federation.BindFlags(flag.CommandLine)
+	fedOut := flag.String("fed-out", "", "write the federation scaling benchmark as JSON to this file (with -federation)")
 	flag.Parse()
 
 	kkt, err := portfolio.ParseKKTPath(*kktPath)
@@ -45,8 +47,22 @@ func main() {
 	linalg.SetPool(parallel.PoolFor(*parallelism))
 	opt := experiments.Options{Quick: *quick, Seed: *seed, Parallelism: *parallelism,
 		HighUtil: *highUtil, WarningSec: *warning, ColdStart: !*warmStart, KKT: kkt,
-		Risk: *riskOn, RiskQuantile: *riskQuantile, RiskHalfLife: *riskHalfLife}
+		Risk: riskFlags.On, RiskQuantile: riskFlags.Quantile, RiskHalfLife: riskFlags.HalfLife}
 	w := os.Stdout
+
+	// -federation runs the federated-planner scaling benchmark directly (it
+	// is its own experiment, sized by the federation flags, and the evidence
+	// behind BENCH_fed.json).
+	if fedFlags.Enabled() {
+		if err := experiments.FedScale(w, opt, experiments.FedScaleOptions{
+			Regions: fedFlags.Regions, AZs: fedFlags.AZs, Types: fedFlags.Types,
+			Rounds: fedFlags.Rounds, OutFile: *fedOut,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	run := func(id string) bool {
 		switch id {

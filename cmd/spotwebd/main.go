@@ -43,6 +43,7 @@ import (
 	spotweb "repro"
 	"repro/internal/chaos"
 	"repro/internal/chaos/runner"
+	"repro/internal/federation"
 	"repro/internal/lb"
 	"repro/internal/linalg"
 	"repro/internal/metrics"
@@ -70,9 +71,8 @@ func main() {
 	slo := flag.Duration("slo", 500*time.Millisecond, "latency SLO threshold for the attainment tracker")
 	chaosScenario := flag.String("chaos-scenario", "", "chaos scenario to replay: a JSON file or a built-in name (empty = none)")
 	chaosDur := flag.Duration("chaos-duration", 10*time.Minute, "wall-clock window the chaos scenario timeline is mapped onto")
-	riskOn := flag.Bool("risk", false, "estimate revocation risk online from the event journal and plan against the corrected probabilities")
-	riskQuantile := flag.Float64("risk-quantile", 0, "risk estimator upper-credible-bound quantile (0 = default 0.90)")
-	riskHalfLife := flag.Float64("risk-halflife", 0, "risk estimator evidence half-life in catalog-hours (0 = default 24)")
+	riskFlags := risk.BindFlags(flag.CommandLine)
+	fedFlags := federation.BindFlags(flag.CommandLine)
 	flag.Parse()
 
 	kkt, err := portfolio.ParseKKTPath(*kktPath)
@@ -92,20 +92,33 @@ func main() {
 		reg.SetJournal(journal)
 	}
 
-	cat := spotweb.SyntheticCatalog(spotweb.CatalogConfig{
-		Seed: *seed, NumTypes: *markets, Hours: 24 * 30,
-	})
+	// With -federation the planning universe is the merged multi-provider
+	// view: one catalog per (region, AZ) shard, planned by the hierarchically
+	// sharded optimizer; otherwise a single synthetic catalog.
+	var cat *spotweb.Catalog
+	var fed *federation.Federation
+	if fedFlags.Enabled() {
+		fed, err = fedFlags.Build(*seed, 24*30, false)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cat = fed.Merged
+		log.Printf("federation: %d regions, %d shards, %d markets", len(fed.Regions), len(fed.Shards), cat.Len())
+	} else {
+		cat = spotweb.SyntheticCatalog(spotweb.CatalogConfig{
+			Seed: *seed, NumTypes: *markets, Hours: 24 * 30,
+		})
+	}
 	ctrlOpts := spotweb.ControllerOptions{
 		Catalog: cat,
 		Optimizer: spotweb.OptimizerConfig{Horizon: 4, ChurnKappa: 1.0, Parallelism: *parallelism,
 			DisableWarmStart: !*warmStart, KKT: kkt},
-		Metrics: reg,
+		Metrics:           reg,
+		Federation:        fed,
+		FederationPlanner: fedFlags.PlannerConfig(*parallelism),
 	}
-	var est *risk.Estimator
-	if *riskOn {
-		est = risk.New(risk.Config{
-			Quantile: *riskQuantile, HalfLifeHrs: *riskHalfLife, Metrics: reg,
-		}, cat)
+	est := riskFlags.Estimator(cat, reg)
+	if est != nil {
 		ctrlOpts.Risk = est
 	}
 	ctrl, err := spotweb.NewController(ctrlOpts)

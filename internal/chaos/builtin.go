@@ -69,6 +69,28 @@ var builtins = map[string]*Scenario{
 			{Kind: KindStorm, Start: 0.8, Count: 2, WarnScale: ptr(1)},
 		},
 	},
+	// The federation-level scenario: a full-region outage. The runner builds
+	// a 4-region federation (see runner.runFedSim), overrides RegionMap with
+	// the federation's real index map, installs the federation's block
+	// correlation matrix and appends a copula-sampled cross-region storm at
+	// peak load. The default RegionMap below matches the runner's federation
+	// so the scenario also compiles standalone; the early full-warning storm
+	// teaches the risk estimator that us-east-1 is deteriorating before the
+	// outage takes the whole region dark at high load with 30% warning.
+	"region-outage": {
+		Name:        "region-outage",
+		Description: "full outage of one federated region: an early teaching storm, then the region goes dark for a third of the run with 30% warning while correlated revocations bleed into its neighbors",
+		RegionMap: map[string][]int{
+			"aws/us-east-1": {0, 1, 2, 3, 4, 5},
+			"azure/eastus":  {6, 7, 8, 9, 10, 11},
+			"aws/us-west-2": {12, 13, 14, 15, 16, 17},
+			"azure/westus2": {18, 19, 20, 21, 22, 23},
+		},
+		Faults: []FaultSpec{
+			{Kind: KindStorm, Start: 0.2, Region: "aws/us-east-1", WarnScale: ptr(1)},
+			{Kind: KindRegionOutage, Start: 0.45, Duration: 0.35, Region: "aws/us-east-1", WarnScale: ptr(0.3)},
+		},
+	},
 	// The two lying-catalog scenarios run in adaptive-vs-oracle-prior
 	// comparison mode (see CatalogLie): the runner uses its wider lie
 	// catalog (6 instance types × 3 demand pools; transient markets at even

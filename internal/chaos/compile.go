@@ -27,6 +27,17 @@ func Compile(sc *Scenario, seed int64, markets int) (*Injector, error) {
 				return nil, fmt.Errorf("chaos: scenario %q targets market %d outside catalog of %d", sc.Name, m, markets)
 			}
 		}
+		if f.Region != "" {
+			mkts, ok := sc.RegionMap[f.Region]
+			if !ok {
+				return nil, fmt.Errorf("chaos: scenario %q targets region %q absent from region_map", sc.Name, f.Region)
+			}
+			for _, m := range mkts {
+				if m < 0 || (markets > 0 && m >= markets) {
+					return nil, fmt.Errorf("chaos: scenario %q region %q maps market %d outside catalog of %d", sc.Name, f.Region, m, markets)
+				}
+			}
+		}
 	}
 	rng := rand.New(rand.NewSource(seed ^ int64(len(sc.Faults))*0x9e3779b9))
 	var chol *linalg.CholeskyFactor
@@ -47,15 +58,38 @@ func Compile(sc *Scenario, seed int64, markets int) (*Injector, error) {
 			}
 			rv := Revocation{T: f.Start, WarnScale: ws, Count: f.Count}
 			rv.Markets = append(rv.Markets, f.Markets...)
+			if f.Region != "" {
+				rv.Markets = appendUnique(rv.Markets, sc.RegionMap[f.Region])
+			}
 			if f.Prob > 0 && chol != nil {
 				rv.Markets = appendCopulaVictims(rv.Markets, rng, chol, f.Prob, markets)
 			}
-			if len(rv.Markets) == 0 && rv.Count <= 0 {
+			if len(rv.Markets) == 0 && rv.Count <= 0 && f.Region == "" {
 				// A copula draw can come up empty; keep the storm meaningful
-				// by revoking the single most-populated market.
+				// by revoking the single most-populated market. Region
+				// targeting deliberately skips this: a region with zero
+				// mapped markets injects nothing.
 				rv.Count = 1
 			}
 			in.revs = append(in.revs, rv)
+		case KindRegionOutage:
+			// A region outage is a storm over the region's markets plus a
+			// purchase blackout for the window: revoked capacity cannot be
+			// replaced in the dark region until the window closes.
+			ws := 1.0
+			if f.WarnScale != nil {
+				ws = *f.WarnScale
+			}
+			mkts := append([]int(nil), sc.RegionMap[f.Region]...)
+			sort.Ints(mkts)
+			// A region mapping to zero markets injects nothing — an empty
+			// Markets filter on a span would otherwise mean "all markets".
+			if len(mkts) > 0 {
+				in.revs = append(in.revs, Revocation{T: f.Start, Markets: mkts, WarnScale: ws})
+				in.blackout = append(in.blackout, span{
+					From: f.Start, To: f.Start + f.Duration, Factor: ws, Markets: mkts,
+				})
+			}
 		case KindWarningDelay:
 			in.warn = append(in.warn, span{From: f.Start, To: f.Start + f.Duration, Factor: f.Severity})
 		case KindWarningLoss:
@@ -87,6 +121,23 @@ func Compile(sc *Scenario, seed int64, markets int) (*Injector, error) {
 	}
 	sort.SliceStable(in.revs, func(i, j int) bool { return in.revs[i].T < in.revs[j].T })
 	return in, nil
+}
+
+// appendUnique appends the members of add not already in dst, preserving
+// dst's order and sorting the combined result.
+func appendUnique(dst, add []int) []int {
+	seen := make(map[int]bool, len(dst))
+	for _, m := range dst {
+		seen[m] = true
+	}
+	for _, m := range add {
+		if !seen[m] {
+			seen[m] = true
+			dst = append(dst, m)
+		}
+	}
+	sort.Ints(dst)
+	return dst
 }
 
 // corrCholesky factors a correlation matrix, ridging the diagonal until it

@@ -62,6 +62,7 @@ type Injector struct {
 	capacity []span       // capacity-factor windows (product combines)
 	price    []span       // price-multiplier windows (product combines)
 	start    []span       // start-delay-factor windows (max combines)
+	blackout []span       // region-outage windows (Markets = dark markets)
 	force    []forceSpan
 }
 
@@ -163,6 +164,27 @@ func (in *Injector) StartDelayFactor(x float64) float64 {
 		}
 	}
 	return f
+}
+
+// Blackout reports whether a region outage keeps market dark at progress x —
+// live servers there are revoked (with warnScale × the normal warning) and
+// replacements cannot be bought until the window closes. warnScale is the
+// minimum across active windows covering the market; active is false (and
+// warnScale 1) when the market is not blacked out.
+func (in *Injector) Blackout(x float64, market int) (warnScale float64, active bool) {
+	if in == nil {
+		return 1, false
+	}
+	warnScale = 1
+	for _, w := range in.blackout {
+		if w.covers(x) && w.coversMarket(market) {
+			active = true
+			if w.Factor < warnScale {
+				warnScale = w.Factor
+			}
+		}
+	}
+	return warnScale, active
 }
 
 // ForcedAction reports whether a force_action fault overrides the LB's

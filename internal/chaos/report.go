@@ -16,6 +16,13 @@ type Report struct {
 	Intervals int    `json:"intervals"`
 	Markets   int    `json:"markets"`
 
+	// Federation shape, set only by federated scenarios (region_outage):
+	// Regions is the number of federated regions, FedShards the number of
+	// per-AZ planner shards. Both are omitempty so the pre-federation golden
+	// reports stay byte-stable.
+	Regions   int `json:"regions,omitempty"`
+	FedShards int `json:"fed_shards,omitempty"`
+
 	// Fault accounting.
 	InjectedRevocations int              `json:"injected_revocations"`
 	NaturalRevocations  int              `json:"natural_revocations"`

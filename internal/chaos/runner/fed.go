@@ -1,0 +1,190 @@
+package runner
+
+import (
+	"fmt"
+
+	"repro/internal/chaos"
+	"repro/internal/federation"
+	"repro/internal/metrics"
+	"repro/internal/portfolio"
+	"repro/internal/predict"
+	"repro/internal/risk"
+	"repro/internal/sim"
+)
+
+// hasRegionOutage reports whether the scenario carries a region_outage fault,
+// which routes the run through the federated simulator path.
+func hasRegionOutage(sc *chaos.Scenario) bool {
+	for _, f := range sc.Faults {
+		if f.Kind == chaos.KindRegionOutage {
+			return true
+		}
+	}
+	return false
+}
+
+// fedPolicy adapts the federated sharded planner to sim.Policy.
+type fedPolicy struct {
+	planner *federation.Planner
+	name    string
+}
+
+func (p fedPolicy) Name() string {
+	if p.name != "" {
+		return p.name
+	}
+	return "spotweb-fed"
+}
+
+func (p fedPolicy) Decide(t int, observed float64) ([]int, error) {
+	dec, err := p.planner.Step(t, observed)
+	if err != nil {
+		return nil, err
+	}
+	return dec.Counts, nil
+}
+
+// runFedSim executes a region-outage scenario against a real federation:
+// 4 regions round-robined over the synthetic aws/azure providers, one AZ
+// each, 3 transient types plus on-demand twins per AZ — 24 markets, 4
+// planner shards. The scenario's RegionMap is replaced with the federation's
+// actual index map and its copula correlation with the federation's block
+// matrix (0.8 intra-AZ, 0.6 intra-region, 0.25 cross-region), and a
+// cross-region copula storm is appended at peak load so the outage bleeds
+// into the surviving regions. Like the lying-catalog scenarios this runs in
+// adaptive-vs-oracle-prior comparison mode: the primary fields score the
+// planner that trusts the declared catalog, Adaptive scores the same faults
+// with the risk estimator watching the merged view. Price-spike faults are
+// not pre-transformed here (spikedCatalog would break the pointer sharing
+// between the merged view and the shard catalogs); region-outage scenarios
+// should not carry them.
+func runFedSim(opt SimOptions) (*chaos.Report, error) {
+	hours := 96
+	if opt.Quick {
+		hours = 36
+	}
+	fed, err := federation.Build(federation.Config{
+		Providers:       []string{"aws", "azure"},
+		Regions:         4,
+		AZsPerRegion:    1,
+		TypesPerAZ:      3,
+		Hours:           hours,
+		SamplesPerHour:  1,
+		IncludeOnDemand: true,
+		Seed:            opt.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("runner: federation: %w", err)
+	}
+
+	// Re-anchor the scenario on the federation's real topology. The copy is
+	// deep enough: Faults is reallocated before the append, RegionMap and
+	// Correlation are replaced wholesale.
+	sc := *opt.Scenario
+	sc.RegionMap = fed.RegionMap()
+	sc.Correlation = fed.CorrelationMatrix(0.8, 0.6, 0.25)
+	full := 1.0
+	sc.Faults = append(append([]chaos.FaultSpec(nil), sc.Faults...), chaos.FaultSpec{
+		Kind: chaos.KindStorm, Start: 0.7, Prob: 0.25, WarnScale: &full,
+	})
+	in, err := chaos.Compile(&sc, opt.Seed, fed.Len())
+	if err != nil {
+		return nil, err
+	}
+	wl := simWorkload(hours, fed.Merged)
+
+	// Same knobs as the lying-catalog comparison: the failure probability only
+	// steers the MPO through P·f·λ·L, and the loosened per-market cap lets the
+	// surviving regions absorb the dark region's budget on spot capacity.
+	cfg := basePortfolioConfig()
+	cfg.LongRequestFrac = 0.3
+	cfg.AMaxPerMarket = 0.5
+
+	runLeg := func(inj *chaos.Injector, j *metrics.Journal, est *risk.Estimator, name string) (*sim.Result, error) {
+		wp := predict.NewSplinePredictor(predict.SplineConfig{
+			StepHrs: fed.Merged.StepHrs, ARLag1: true, CIProb: 0.99,
+		}, cfg.Horizon)
+		planner := federation.NewPlanner(fed, federation.PlannerConfig{Portfolio: cfg},
+			wp, portfolio.MeanRevertSource{Cat: fed.Merged})
+		scfg := sim.Config{
+			Seed:            opt.Seed,
+			TransiencyAware: true,
+			Chaos:           inj,
+			Journal:         j,
+		}
+		if est != nil {
+			planner.RiskOverlay = est
+			scfg.Risk = est
+		}
+		s := &sim.Simulator{
+			Cfg:      scfg,
+			Cat:      fed.Merged,
+			Workload: wl,
+			Policy:   fedPolicy{planner: planner, name: name},
+		}
+		return s.Run()
+	}
+
+	jOracle := metrics.NewJournal(8192)
+	oracle, err := runLeg(in, jOracle, nil, "spotweb-fed")
+	if err != nil {
+		return nil, fmt.Errorf("runner: federated oracle-prior run: %w", err)
+	}
+
+	riskCfg := defaultRiskConfig()
+	if opt.Risk != nil {
+		riskCfg = *opt.Risk
+	}
+	est := risk.New(riskCfg, fed.Merged)
+	adaptive, err := runLeg(in, metrics.NewJournal(8192), est, "spotweb-fed-adaptive")
+	if err != nil {
+		return nil, fmt.Errorf("runner: federated adaptive run: %w", err)
+	}
+
+	base, err := runLeg(nil, nil, nil, "spotweb-fed")
+	if err != nil {
+		return nil, fmt.Errorf("runner: federated baseline run: %w", err)
+	}
+
+	rep := &chaos.Report{
+		Scenario:             opt.Scenario.Name,
+		Seed:                 opt.Seed,
+		Policy:               oracle.Policy,
+		Intervals:            hours,
+		Markets:              fed.Len(),
+		Regions:              len(fed.Regions),
+		FedShards:            len(fed.Shards),
+		InjectedRevocations:  oracle.InjectedRevocations,
+		NaturalRevocations:   oracle.Revocations - oracle.InjectedRevocations,
+		Actions:              make(map[string]int64, len(oracle.Actions)),
+		EventCounts:          jOracle.Counts(),
+		SLOAttainmentPct:     100 - oracle.ViolationPct,
+		ViolationPct:         oracle.ViolationPct,
+		DropFraction:         oracle.DropFraction(),
+		DroppedReqs:          oracle.Dropped,
+		MeanLatencySec:       oracle.MeanLatency,
+		OverloadSecs:         oracle.OverloadSecs,
+		AdmissionEvents:      int64(oracle.AdmissionEvents),
+		CostUSD:              oracle.TotalCost,
+		BaselineCostUSD:      base.TotalCost,
+		BaselineViolationPct: base.ViolationPct,
+		Adaptive: &chaos.AdaptiveComparison{
+			SLOAttainmentPct:    100 - adaptive.ViolationPct,
+			ViolationPct:        adaptive.ViolationPct,
+			DropFraction:        adaptive.DropFraction(),
+			CostUSD:             adaptive.TotalCost,
+			Revocations:         adaptive.Revocations,
+			InjectedRevocations: adaptive.InjectedRevocations,
+			Changepoints:        est.Changepoints(),
+			MeanAbsDivergence:   est.MeanAbsDivergence(),
+		},
+	}
+	for k, v := range oracle.Actions {
+		rep.Actions[k] = int64(v)
+	}
+	if base.TotalCost > 0 {
+		rep.CostDeltaPct = 100 * (oracle.TotalCost - base.TotalCost) / base.TotalCost
+	}
+	rep.Finalize()
+	return rep, nil
+}

@@ -254,6 +254,9 @@ func RunSim(opt SimOptions) (*chaos.Report, error) {
 	if opt.Scenario.CatalogLie != nil {
 		return runLieSim(opt)
 	}
+	if hasRegionOutage(opt.Scenario) {
+		return runFedSim(opt)
+	}
 	hours := 96
 	if opt.Quick {
 		hours = 36

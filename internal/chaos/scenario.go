@@ -55,6 +55,12 @@ const (
 	// window: Severity is the forced lb.RevocationAction code (0 =
 	// redistribute, 1 = reprovision, 2 = admission control).
 	KindForceAction FaultKind = "force_action"
+	// KindRegionOutage takes an entire federated region offline: every
+	// market the scenario's RegionMap lists under Region is revoked at Start
+	// (warning scaled by WarnScale) and stays dark — replacements cannot be
+	// bought there — until Start+Duration. The federation-level analogue of
+	// a storm plus a purchase blackout.
+	KindRegionOutage FaultKind = "region_outage"
 )
 
 // FaultSpec declares one fault. Times are fractions of the run in [0, 1), so
@@ -81,6 +87,12 @@ type FaultSpec struct {
 	// Prob is the per-market marginal revocation probability for
 	// copula-sampled storms.
 	Prob float64 `json:"prob,omitempty"`
+	// Region targets every market the scenario's RegionMap lists under this
+	// name (region_outage always; storms may use it instead of — or in
+	// addition to — explicit markets). A region that maps to zero live
+	// markets injects nothing: region targeting never falls back to
+	// most-populated selection.
+	Region string `json:"region,omitempty"`
 }
 
 // CatalogLie makes the catalog lie: the planner (and the risk estimator's
@@ -154,7 +166,12 @@ type Scenario struct {
 	// catalogs; the execution layer then scores an adaptive (risk-estimator)
 	// planner against the oracle-prior planner that trusts the declaration.
 	CatalogLie *CatalogLie `json:"catalog_lie,omitempty"`
-	Faults     []FaultSpec `json:"faults"`
+	// RegionMap names groups of catalog market indices (region name →
+	// global indices, the shape federation.RegionMap returns) so faults can
+	// target a whole region. Required at Compile time by any fault that sets
+	// Region; execution layers running a federation fill it in.
+	RegionMap map[string][]int `json:"region_map,omitempty"`
+	Faults    []FaultSpec      `json:"faults"`
 }
 
 // Validate checks the scenario for internal consistency.
@@ -188,8 +205,8 @@ func (s *Scenario) Validate() error {
 		}
 		switch f.Kind {
 		case KindStorm:
-			if len(f.Markets) == 0 && f.Count <= 0 && f.Prob <= 0 {
-				return fmt.Errorf("%s: needs markets, count or prob", where)
+			if len(f.Markets) == 0 && f.Count <= 0 && f.Prob <= 0 && f.Region == "" {
+				return fmt.Errorf("%s: needs markets, count, prob or region", where)
 			}
 			if f.Prob > 0 && len(s.Correlation) == 0 {
 				return fmt.Errorf("%s: copula sampling needs a correlation matrix", where)
@@ -238,6 +255,16 @@ func (s *Scenario) Validate() error {
 			}
 			if f.Duration <= 0 {
 				return fmt.Errorf("%s: needs a duration", where)
+			}
+		case KindRegionOutage:
+			if f.Region == "" {
+				return fmt.Errorf("%s: needs a region", where)
+			}
+			if f.Duration <= 0 {
+				return fmt.Errorf("%s: needs a duration", where)
+			}
+			if f.WarnScale != nil && (*f.WarnScale < 0 || *f.WarnScale > 1) {
+				return fmt.Errorf("%s: warn_scale %g outside [0,1]", where, *f.WarnScale)
 			}
 		default:
 			return fmt.Errorf("%s: unknown fault kind", where)

@@ -48,6 +48,14 @@ type CatalogConfig struct {
 	MeanDiscount float64
 	// BaseFailProb is the resting per-interval revocation probability.
 	BaseFailProb float64
+	// VolatilityScale and ReversionScale multiply the per-market drawn
+	// price-process parameters (0 ⇒ 1, i.e. unscaled). They let federation
+	// providers flavor the shared generator — e.g. a calmer, slower-reverting
+	// Azure-style price process vs a choppier AWS-style one — without
+	// perturbing the RNG stream, so a zero-valued config generates catalogs
+	// identical to those from before these knobs existed.
+	VolatilityScale float64
+	ReversionScale  float64
 }
 
 func (c CatalogConfig) withDefaults() CatalogConfig {
@@ -68,6 +76,12 @@ func (c CatalogConfig) withDefaults() CatalogConfig {
 	}
 	if c.BaseFailProb <= 0 {
 		c.BaseFailProb = 0.04
+	}
+	if c.VolatilityScale <= 0 {
+		c.VolatilityScale = 1
+	}
+	if c.ReversionScale <= 0 {
+		c.ReversionScale = 1
 	}
 	return c
 }
@@ -134,8 +148,8 @@ func (c CatalogConfig) Generate() *Catalog {
 			Seed:          cfg.Seed + int64(i)*7919,
 			OnDemandPrice: it.OnDemandPrice,
 			MeanDiscount:  discount,
-			Volatility:    0.18 + 0.2*rng.Float64(),
-			Reversion:     0.3 + 0.4*rng.Float64(),
+			Volatility:    (0.18 + 0.2*rng.Float64()) * cfg.VolatilityScale,
+			Reversion:     (0.3 + 0.4*rng.Float64()) * cfg.ReversionScale,
 			JumpsPerWeek:  1 + 3*rng.Float64(),
 			JumpMagnitude: 0.4 + rng.Float64(),
 			Hours:         cfg.Hours, SamplesPerHour: cfg.SamplesPerHour,

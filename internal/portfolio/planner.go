@@ -7,7 +7,6 @@ import (
 	"repro/internal/market"
 	"repro/internal/metrics"
 	"repro/internal/predict"
-	"repro/internal/solver"
 )
 
 // ForecastSource supplies per-market price and failure-probability forecasts
@@ -154,27 +153,14 @@ type Planner struct {
 	Metrics *metrics.Registry
 
 	prevAlloc linalg.Vector
-	lastPred  float64
-	maeWin    []float64
 
-	// Warm-start state for the receding-horizon loop (nil when
-	// Cfg.DisableWarmStart or after invalidation). Each accepted plan's
-	// solver state is kept, shifted one period, and seeds the next round;
-	// it is invalidated whenever the market set or the horizon changes, and
-	// discarded after a non-converged solve (see Step's fallback).
-	warm     *solver.WarmState
-	warmN    int
-	warmH    int
-	warmCat  *market.Catalog
-	warmKind SolverKind
-	// warmEpoch pins the overlay epoch the warm state was captured under.
-	// Per-round overlay value drift only moves the linear cost term (the
-	// solver's cached KKT factor hashes P/A/σ/ρ, not q) so the state stays
-	// valid; an epoch bump means a detected regime shift re-anchored the
-	// estimator, and the stale trajectory is dropped for a cold re-solve.
-	warmEpoch uint64
-	// ovEpoch is the overlay epoch observed by the latest Step.
-	ovEpoch uint64
+	// builder assembles per-round Inputs (forecast scoring, MAE window,
+	// workload prediction, overlay application); ws manages the warm-start
+	// lifecycle across rounds. Both are synced from the Planner's public
+	// fields at the top of every Step, so callers that mutate Workload,
+	// Source, RiskOverlay or Metrics after construction keep working.
+	builder InputBuilder
+	ws      WarmSolver
 }
 
 // NewPlanner wires a planner with defaults.
@@ -201,58 +187,20 @@ type Decision struct {
 
 // Step observes the actual workload of interval t and plans interval t+1.
 func (p *Planner) Step(t int, actualLambda float64) (*Decision, error) {
-	// Score last forecast and maintain MAE for the Eq. 4 shortfall charge.
-	if p.lastPred > 0 {
-		p.maeWin = append(p.maeWin, math.Abs(p.lastPred-actualLambda))
-		if len(p.maeWin) > 200 {
-			p.maeWin = p.maeWin[len(p.maeWin)-200:]
-		}
-	}
-	p.Workload.Observe(actualLambda)
+	p.builder.Workload, p.builder.Source = p.Workload, p.Source
+	p.builder.RiskOverlay, p.builder.Metrics = p.RiskOverlay, p.Metrics
+	p.ws.Metrics = p.Metrics
 
-	h := p.Cfg.Horizon
-	lambda := p.Workload.Predict(h)
-	for i, v := range lambda {
-		if v < 1 {
-			lambda[i] = 1 // guard against zero-load degeneracy
-		}
-	}
-	p.lastPred = lambda[0]
+	in, epoch := p.builder.Build(t, p.Cfg.Horizon, actualLambda)
+	in.Risk = p.Cat.CovarianceMatrix(t, p.CovWindow)
+	in.PrevAlloc = p.prevAlloc
 
-	var mae float64
-	if len(p.maeWin) > 0 {
-		var s float64
-		for _, v := range p.maeWin {
-			s += v
-		}
-		mae = s / float64(len(p.maeWin))
-	}
-
-	in := &Inputs{
-		Lambda:       lambda,
-		PerReqCost:   p.Source.PerReqCosts(t, h),
-		FailProb:     p.Source.FailProbs(t, h),
-		Risk:         p.Cat.CovarianceMatrix(t, p.CovWindow),
-		PrevAlloc:    p.prevAlloc,
-		ShortfallMAE: mae,
-	}
-	if p.RiskOverlay != nil {
-		if ov := p.RiskOverlay.Overlay(); ov != nil {
-			for _, row := range in.FailProb {
-				ov.Apply(row)
-			}
-			p.ovEpoch = ov.Epoch
-			if m := p.Metrics; m != nil {
-				m.Gauge("spotweb_plan_overlay_version",
-					"Version of the risk overlay applied to the last solve.").Set(float64(ov.Version))
-			}
-		}
-	}
-	plan, err := p.solve(in)
+	plan, err := p.ws.Solve(p.Cfg, p.Cat, in, epoch)
 	if err != nil {
 		p.Metrics.Counter("spotweb_solver_errors_total", "MPO solves that failed.").Inc()
 		return nil, err
 	}
+	p.ws.Shift(p.Cat.Len())
 	p.recordMetrics(t, plan, in)
 	p.prevAlloc = plan.First().Clone()
 
@@ -260,73 +208,13 @@ func (p *Planner) Step(t int, actualLambda float64) (*Decision, error) {
 	for i, m := range p.Cat.Markets {
 		caps[i] = m.Type.Capacity
 	}
-	counts := ServerCounts(plan.First(), lambda[0], caps, p.MinServerFraction)
+	counts := ServerCounts(plan.First(), in.Lambda[0], caps, p.MinServerFraction)
 	return &Decision{
 		Plan:            plan,
 		Counts:          counts,
-		PredictedLambda: lambda[0],
+		PredictedLambda: in.Lambda[0],
 		Capacity:        CapacityOf(counts, caps),
 	}, nil
-}
-
-// solve runs one receding-horizon round through the optimizer, managing the
-// warm-start state across rounds:
-//
-//   - The previous round's solver state — shifted one period, terminal
-//     period duplicated — seeds the solve (unless Cfg.DisableWarmStart).
-//   - The state is invalidated whenever the market set, the horizon or the
-//     solver backend changed since it was captured: stale iterates of the
-//     wrong shape (or a factorization of the wrong problem) must never leak
-//     into a solve.
-//   - A solve that does not converge within the iteration budget is not
-//     trusted when it was warm-started: the stale state is discarded, a
-//     spotweb_planner_fallback_total counter ticks, and the round is
-//     re-solved cold. The cold result is used either way (its iterate is the
-//     best available even at max-iterations, matching prior behaviour).
-//
-// Warm state is only ever carried from converged solves, so one bad round
-// cannot poison the next.
-func (p *Planner) solve(in *Inputs) (*Plan, error) {
-	n, h := p.Cat.Len(), p.Cfg.WithDefaults().Horizon
-	if p.Cfg.DisableWarmStart {
-		p.warm = nil
-		return Optimize(p.Cfg, in)
-	}
-	if p.warm != nil && (p.warmN != n || p.warmH != h || p.warmCat != p.Cat || p.warmKind != p.Cfg.Solver) {
-		p.warm = nil
-		p.Metrics.Counter("spotweb_planner_warm_invalidations_total",
-			"Warm-start states dropped because the market set, horizon or solver changed.").Inc()
-	}
-	if p.warm != nil && p.warmEpoch != p.ovEpoch {
-		// Overlay epoch bump = the risk estimator detected a price-process
-		// regime shift and re-anchored. The cached trajectory tracked the
-		// old regime's cost surface; start the new one cold.
-		p.warm = nil
-		p.Metrics.Counter("spotweb_planner_overlay_invalidations_total",
-			"Warm-start states dropped because the risk overlay epoch changed (regime shift).").Inc()
-	}
-	warmUsed := p.warm != nil
-	plan, err := OptimizeWarm(p.Cfg, in, p.warm)
-	p.warm = nil // consumed (or about to be replaced)
-	if err != nil {
-		return nil, err
-	}
-	if plan.Status != solver.StatusSolved && warmUsed {
-		p.Metrics.Counter("spotweb_planner_fallback_total",
-			"Warm-started solves that failed to converge and were re-solved cold.").Inc()
-		cold, cerr := Optimize(p.Cfg, in)
-		if cerr != nil {
-			return nil, cerr
-		}
-		plan = cold
-	}
-	if plan.Status == solver.StatusSolved && plan.warm != nil {
-		p.warm = plan.warm
-		p.warm.ShiftHorizon(n)
-		p.warmN, p.warmH, p.warmCat, p.warmKind = n, h, p.Cat, p.Cfg.Solver
-		p.warmEpoch = p.ovEpoch
-	}
-	return plan, nil
 }
 
 // recordMetrics publishes one solve's health and the executed portfolio's

@@ -317,11 +317,31 @@ func (s *Simulator) Run() (*Result, error) {
 		// over market groups).
 		var revs []*revocation
 		groupShock := map[int]float64{}
+		blackedNow := map[int]bool{}
 		for i, m := range s.Cat.Markets {
 			if !m.Transient {
 				continue
 			}
 			if len(cl.ServersInMarket(i)) == 0 {
+				continue
+			}
+			// Region-outage blackout: any server alive in a dark market is
+			// force-revoked (the planner may keep buying there — it does not
+			// see the fault — and every purchase dies). The branch sits
+			// before any RNG draw so scenarios without blackouts keep a
+			// bit-identical random stream; within a region all group-mates go
+			// dark together (demand pools are AZ-local), so no group shock is
+			// half-consumed.
+			if ws, dark := cfg.Chaos.Blackout(progress(tStart), i); dark {
+				revs = append(revs, &revocation{
+					market:    i,
+					warnAt:    tStart + 0.2*stepHrs,
+					warnScale: ws,
+					injected:  true,
+				})
+				blackedNow[i] = true
+				res.Revocations++
+				res.InjectedRevocations++
 				continue
 			}
 			f := m.FailProbAt(t)
@@ -351,6 +371,11 @@ func (s *Simulator) Run() (*Result, error) {
 		for _, cr := range cfg.Chaos.Revocations(progress(tStart), progress(tEnd)) {
 			when := runStart + cr.T*runLen
 			for _, mkt := range s.stormVictims(cl, cr) {
+				if blackedNow[mkt] {
+					// The blackout branch above already force-revoked this
+					// market; the outage-start storm must not double-fire.
+					continue
+				}
 				revs = append(revs, &revocation{
 					market:    mkt,
 					warnAt:    when,
@@ -443,7 +468,7 @@ func (s *Simulator) Run() (*Result, error) {
 					if action != lb.ActionRedistribute {
 						// Reprovision: replace lost capacity in the cheapest
 						// surviving transient market (reactive reprovision).
-						repl := s.cheapestAlive(t, revs)
+						repl := s.cheapestAlive(t, x, revs)
 						if repl >= 0 {
 							need := int(math.Ceil(lost / caps[repl]))
 							for r := 0; r < need; r++ {
@@ -655,8 +680,9 @@ func (s *Simulator) stormVictims(cl *cluster.Cluster, rv chaos.Revocation) []int
 }
 
 // cheapestAlive returns the cheapest transient market not currently being
-// revoked, or -1.
-func (s *Simulator) cheapestAlive(t int, revs []*revocation) int {
+// revoked or blacked out (x is the run progress, for the blackout query),
+// or -1.
+func (s *Simulator) cheapestAlive(t int, x float64, revs []*revocation) int {
 	revoked := map[int]bool{}
 	for _, r := range revs {
 		revoked[r.market] = true
@@ -666,17 +692,24 @@ func (s *Simulator) cheapestAlive(t int, revs []*revocation) int {
 		if !m.Transient || revoked[i] {
 			continue
 		}
+		if _, dark := s.Cfg.Chaos.Blackout(x, i); dark {
+			continue
+		}
 		c := m.PerRequestCostAt(t)
 		if best == -1 || c < bestCost {
 			best, bestCost = i, c
 		}
 	}
 	if best == -1 {
-		// Fall back to any on-demand market.
+		// Fall back to any on-demand market outside a blackout.
 		for i, m := range s.Cat.Markets {
-			if !m.Transient {
-				return i
+			if m.Transient {
+				continue
 			}
+			if _, dark := s.Cfg.Chaos.Blackout(x, i); dark {
+				continue
+			}
+			return i
 		}
 	}
 	return best

@@ -1,0 +1,28 @@
+#!/bin/sh
+# bench_fed.sh — federated planner scale benchmark for the BENCH_fed artifact.
+#
+# Runs the spotweb-sim federation mode at the issue's acceptance scale:
+# 8 regions x 10 AZs x 125 market types = 10,000 markets over 80 planner
+# shards, planning REGIONS/4, REGIONS/2 and REGIONS points for the shard
+# scaling curve, and writes the JSON artifact named by $1 (default
+# BENCH_fed.json). The run is deterministic in -seed, so the table portion of
+# the output is reproducible; the recorded wall times are machine-dependent.
+#
+# Env knobs: REGIONS (default 8), AZS (default 10), TYPES (default 125),
+# ROUNDS (coordination rounds, default 0 = planner default), SEED (default 42).
+#
+# Requires: go. Exits nonzero if any step fails.
+set -eu
+
+OUT="${1:-BENCH_fed.json}"
+REGIONS="${REGIONS:-8}"
+AZS="${AZS:-10}"
+TYPES="${TYPES:-125}"
+ROUNDS="${ROUNDS:-0}"
+SEED="${SEED:-42}"
+
+echo "==> federated planner: $REGIONS regions x $AZS AZs x $TYPES types" >&2
+go run ./cmd/spotweb-sim -federation \
+    -regions "$REGIONS" -fed-azs "$AZS" -fed-types "$TYPES" \
+    -fed-rounds "$ROUNDS" -seed "$SEED" -fed-out "$OUT"
+echo "==> wrote $OUT" >&2

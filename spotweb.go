@@ -39,6 +39,7 @@ package spotweb
 import (
 	"fmt"
 
+	"repro/internal/federation"
 	"repro/internal/lb"
 	"repro/internal/market"
 	"repro/internal/metrics"
@@ -122,6 +123,16 @@ type ControllerOptions struct {
 	// planner consults before every solve (the internal/risk estimator fed
 	// from the event journal; nil keeps the declared catalog values).
 	Risk portfolio.OverlayProvider
+	// Federation, when set, swaps the single-catalog planner for the
+	// hierarchically sharded federated planner: one portfolio shard per AZ,
+	// coordinated over the global allocation budget. Catalog may be left nil
+	// (it defaults to the federation's merged view); when set it must BE the
+	// merged view.
+	Federation *federation.Federation
+	// FederationPlanner tunes the sharded planner (coordination rounds,
+	// share floor, shard-solve parallelism). Optimizer is always taken from
+	// the Optimizer field above; zero values default.
+	FederationPlanner federation.PlannerConfig
 }
 
 // Decision is the per-interval controller output.
@@ -140,15 +151,24 @@ type Decision struct {
 	Plan *Plan
 }
 
+// stepper is the planning interface shared by the single-catalog
+// portfolio.Planner and the sharded federation.Planner.
+type stepper interface {
+	Step(t int, actualLambda float64) (*portfolio.Decision, error)
+}
+
 // Controller is the SpotWeb control loop: predictors → MPO optimizer →
 // portfolio execution, one Step per monitoring interval.
 type Controller struct {
-	planner *portfolio.Planner
+	planner stepper
 	cat     *Catalog
 }
 
 // NewController wires a controller from options.
 func NewController(opt ControllerOptions) (*Controller, error) {
+	if opt.Federation != nil && opt.Catalog == nil {
+		opt.Catalog = opt.Federation.Merged
+	}
 	if opt.Catalog == nil {
 		return nil, fmt.Errorf("spotweb: ControllerOptions.Catalog is required")
 	}
@@ -172,6 +192,17 @@ func NewController(opt ControllerOptions) (*Controller, error) {
 		default:
 			src = portfolio.MeanRevertSource{Cat: opt.Catalog}
 		}
+	}
+	if fed := opt.Federation; fed != nil {
+		if opt.Catalog != fed.Merged {
+			return nil, fmt.Errorf("spotweb: with Federation set, Catalog must be the federation's merged view")
+		}
+		pcfg := opt.FederationPlanner
+		pcfg.Portfolio = cfg
+		planner := federation.NewPlanner(fed, pcfg, wl, src)
+		planner.Metrics = opt.Metrics
+		planner.RiskOverlay = opt.Risk
+		return &Controller{planner: planner, cat: opt.Catalog}, nil
 	}
 	planner := portfolio.NewPlanner(cfg, opt.Catalog, wl, src)
 	planner.Metrics = opt.Metrics
