@@ -34,6 +34,8 @@ func main() {
 	check := flag.String("check", "", "directory of golden reports to compare against (nonzero exit on deviation)")
 	testbedRun := flag.Bool("testbed", false, "replay on the wall-clock testbed instead of the simulator (not deterministic, no -check)")
 	testbedDur := flag.Duration("testbed-duration", 3*time.Second, "compressed run length for -testbed")
+	anchorMin := flag.Float64("anchor-min", 0, "minimum per-period on-demand (non-revocable) allocation share the planner must hold (0 = off)")
+	sentinel := flag.Bool("sentinel", false, "enable the sentinel loop: stopped on-demand standbys warm-restart after revocations instead of cold launches")
 	list := flag.Bool("list", false, "list built-in scenarios and exit")
 	flag.Parse()
 
@@ -66,7 +68,10 @@ func main() {
 			continue
 		}
 
-		rep, err := runner.RunSim(runner.SimOptions{Scenario: sc, Seed: *seed, Quick: *quick})
+		rep, err := runner.RunSim(runner.SimOptions{
+			Scenario: sc, Seed: *seed, Quick: *quick,
+			AnchorMin: *anchorMin, Sentinel: *sentinel,
+		})
 		if err != nil {
 			fatalf("run %s: %v", sc.Name, err)
 		}

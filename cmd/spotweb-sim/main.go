@@ -31,6 +31,8 @@ func main() {
 	warning := flag.Float64("warning", 120, "revocation warning period in seconds")
 	warmStart := flag.Bool("warm-start", true, "warm-start receding-horizon solves from the previous round's shifted solver state")
 	kktPath := flag.String("kkt", "auto", "ADMM KKT backend: auto (size-based), dense, or sparse (structure-exploiting)")
+	anchorMin := flag.Float64("anchor-min", 0, "minimum per-period on-demand (non-revocable) allocation share (0 = off; inert on all-spot catalogs)")
+	sentinel := flag.Bool("sentinel", false, "enable the sentinel loop: stopped on-demand standbys warm-restart after revocations")
 	riskFlags := risk.BindFlags(flag.CommandLine)
 	fedFlags := federation.BindFlags(flag.CommandLine)
 	fedOut := flag.String("fed-out", "", "write the federation scaling benchmark as JSON to this file (with -federation)")
@@ -47,7 +49,8 @@ func main() {
 	linalg.SetPool(parallel.PoolFor(*parallelism))
 	opt := experiments.Options{Quick: *quick, Seed: *seed, Parallelism: *parallelism,
 		HighUtil: *highUtil, WarningSec: *warning, ColdStart: !*warmStart, KKT: kkt,
-		Risk: riskFlags.On, RiskQuantile: riskFlags.Quantile, RiskHalfLife: riskFlags.HalfLife}
+		Risk: riskFlags.On, RiskQuantile: riskFlags.Quantile, RiskHalfLife: riskFlags.HalfLife,
+		AnchorMin: *anchorMin, Sentinel: *sentinel}
 	w := os.Stdout
 
 	// -federation runs the federated-planner scaling benchmark directly (it

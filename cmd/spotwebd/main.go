@@ -71,6 +71,8 @@ func main() {
 	slo := flag.Duration("slo", 500*time.Millisecond, "latency SLO threshold for the attainment tracker")
 	chaosScenario := flag.String("chaos-scenario", "", "chaos scenario to replay: a JSON file or a built-in name (empty = none)")
 	chaosDur := flag.Duration("chaos-duration", 10*time.Minute, "wall-clock window the chaos scenario timeline is mapped onto")
+	anchorMin := flag.Float64("anchor-min", 0, "minimum per-period on-demand (non-revocable) allocation share the planner must hold (0 = off; adds on-demand twins to the synthetic catalog)")
+	sentinel := flag.Bool("sentinel", false, "accepted for CLI parity; the warm-restart sentinel loop runs on the simulator paths (spotweb-sim, spotweb-chaos), not the wall-clock testbed")
 	riskFlags := risk.BindFlags(flag.CommandLine)
 	fedFlags := federation.BindFlags(flag.CommandLine)
 	flag.Parse()
@@ -107,12 +109,22 @@ func main() {
 	} else {
 		cat = spotweb.SyntheticCatalog(spotweb.CatalogConfig{
 			Seed: *seed, NumTypes: *markets, Hours: 24 * 30,
+			// The anchor floor needs non-revocable markets to anchor to.
+			IncludeOnDemand: *anchorMin > 0,
 		})
+	}
+	if *sentinel {
+		log.Printf("sentinel: warm-restart standbys are a simulator-path feature; the wall-clock testbed ignores -sentinel")
+	}
+	if fed != nil && *anchorMin > 0 {
+		// The sharded federation planner does not carry the anchor bound.
+		log.Printf("anchor: -anchor-min is not supported with -federation; ignoring")
+		*anchorMin = 0
 	}
 	ctrlOpts := spotweb.ControllerOptions{
 		Catalog: cat,
 		Optimizer: spotweb.OptimizerConfig{Horizon: 4, ChurnKappa: 1.0, Parallelism: *parallelism,
-			DisableWarmStart: !*warmStart, KKT: kkt},
+			DisableWarmStart: !*warmStart, KKT: kkt, AMinOnDemand: *anchorMin},
 		Metrics:           reg,
 		Federation:        fed,
 		FederationPlanner: fedFlags.PlannerConfig(*parallelism),

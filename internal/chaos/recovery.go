@@ -1,0 +1,79 @@
+package chaos
+
+// AttainPoint is one sample of the instantaneous SLO-attainment series the
+// simulator emits on its sub-interval grid: at TimeHrs (simulated hours) the
+// fraction of offered requests meeting the SLO was Pct (0–100).
+type AttainPoint struct {
+	TimeHrs float64
+	Pct     float64
+}
+
+// secPerHr converts the simulator's hour-denominated clock to seconds.
+const secPerHr = 3600.0
+
+// RecoveryFromSeries scores recovery time against an attainment series: an
+// *episode* starts at the first sample whose attainment falls below
+// targetPct and ends at the first subsequent sample back at or above it.
+// It returns the worst (longest) episode in seconds and the episode count.
+//
+//   - worstSecs = 0 when attainment never dipped below target;
+//   - worstSecs = −1 when the series ends inside an episode (never
+//     recovered) — a fault the run did not come back from dominates any
+//     finite recovery time.
+//
+// This is the "seconds-to-recovery" metric of the sentinel HA tier: first
+// fault → attainment back above target, measured at the simulator's sub-step
+// resolution rather than whole intervals.
+func RecoveryFromSeries(series []AttainPoint, targetPct float64) (worstSecs float64, episodes int) {
+	inEpisode := false
+	var startHrs float64
+	for _, p := range series {
+		switch {
+		case !inEpisode && p.Pct < targetPct:
+			inEpisode = true
+			startHrs = p.TimeHrs
+			episodes++
+		case inEpisode && p.Pct >= targetPct:
+			inEpisode = false
+			if d := (p.TimeHrs - startHrs) * secPerHr; d > worstSecs {
+				worstSecs = d
+			}
+		}
+	}
+	if inEpisode {
+		return -1, episodes
+	}
+	return worstSecs, episodes
+}
+
+// DownsampleAttainment reduces an attainment series to one value per
+// interval (the mean of the samples inside each interval, round-robin over
+// equal-sized chunks). It is used to publish a compact per-interval series
+// in reports while RecoverySecs is computed at full resolution.
+func DownsampleAttainment(series []AttainPoint, intervals int) []float64 {
+	if intervals <= 0 || len(series) == 0 {
+		return nil
+	}
+	out := make([]float64, intervals)
+	per := len(series) / intervals
+	if per == 0 {
+		per = 1
+	}
+	for i := 0; i < intervals; i++ {
+		lo := i * per
+		hi := lo + per
+		if i == intervals-1 {
+			hi = len(series)
+		}
+		if lo >= len(series) {
+			out[i] = 100
+			continue
+		}
+		var sum float64
+		for _, p := range series[lo:hi] {
+			sum += p.Pct
+		}
+		out[i] = sum / float64(hi-lo)
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+package chaos
+
+import (
+	"math"
+	"testing"
+)
+
+// series builds an AttainPoint series from parallel time/attainment slices.
+func series(times, pcts []float64) []AttainPoint {
+	out := make([]AttainPoint, len(times))
+	for i := range times {
+		out[i] = AttainPoint{TimeHrs: times[i], Pct: pcts[i]}
+	}
+	return out
+}
+
+func TestRecoveryFromSeries(t *testing.T) {
+	cases := []struct {
+		name     string
+		series   []AttainPoint
+		target   float64
+		wantSecs float64
+		wantEps  int
+	}{
+		{
+			name:     "never dips",
+			series:   series([]float64{1, 2, 3}, []float64{100, 99.5, 100}),
+			target:   99,
+			wantSecs: 0, wantEps: 0,
+		},
+		{
+			name: "single half-hour episode",
+			// Dips at t=2.0, back at t=2.5 → 0.5 h = 1800 s.
+			series:   series([]float64{1, 2, 2.5, 3}, []float64{100, 80, 99, 100}),
+			target:   99,
+			wantSecs: 1800, wantEps: 1,
+		},
+		{
+			name: "worst of two episodes wins",
+			// 0.25 h then 1.0 h below target → worst 3600 s, 2 episodes.
+			series: series(
+				[]float64{1, 1.25, 1.5, 2, 3, 3.5},
+				[]float64{80, 99, 100, 50, 99.2, 100}),
+			target:   99,
+			wantSecs: 3600, wantEps: 2,
+		},
+		{
+			name:     "never recovers",
+			series:   series([]float64{1, 2, 3}, []float64{100, 50, 60}),
+			target:   99,
+			wantSecs: -1, wantEps: 1,
+		},
+		{
+			name:     "empty series",
+			series:   nil,
+			target:   99,
+			wantSecs: 0, wantEps: 0,
+		},
+		{
+			name: "exact target is recovered",
+			// Attainment == target closes the episode (>= semantics).
+			series:   series([]float64{1, 2, 2.5}, []float64{100, 98, 99}),
+			target:   99,
+			wantSecs: 1800, wantEps: 1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			secs, eps := RecoveryFromSeries(tc.series, tc.target)
+			if math.Abs(secs-tc.wantSecs) > 1e-9 || eps != tc.wantEps {
+				t.Fatalf("RecoveryFromSeries = (%v, %d), want (%v, %d)",
+					secs, eps, tc.wantSecs, tc.wantEps)
+			}
+		})
+	}
+}
+
+func TestDownsampleAttainment(t *testing.T) {
+	// 6 samples into 3 intervals: chunk means (100+90)/2, (80+100)/2, (95+97)/2.
+	s := series(
+		[]float64{0, 1, 2, 3, 4, 5},
+		[]float64{100, 90, 80, 100, 95, 97})
+	got := DownsampleAttainment(s, 3)
+	want := []float64{95, 90, 96}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("chunk %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+
+	// Remainder samples fold into the last chunk: 7 samples over 3 intervals
+	// → chunks of 2, 2, 3.
+	s = series(
+		[]float64{0, 1, 2, 3, 4, 5, 6},
+		[]float64{100, 100, 90, 90, 60, 60, 60})
+	got = DownsampleAttainment(s, 3)
+	want = []float64{100, 90, 60}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("remainder chunk %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+
+	// More intervals than samples: trailing empty chunks read 100 (no data ⇒
+	// no observed violation).
+	got = DownsampleAttainment(series([]float64{0}, []float64{40}), 3)
+	if got[0] != 40 || got[1] != 100 || got[2] != 100 {
+		t.Fatalf("sparse series = %v", got)
+	}
+
+	if DownsampleAttainment(nil, 3) != nil || DownsampleAttainment(s, 0) != nil {
+		t.Fatal("empty series / zero intervals must return nil")
+	}
+}

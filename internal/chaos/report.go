@@ -40,6 +40,23 @@ type Report struct {
 	OverloadSecs    float64 `json:"overload_secs"`
 	AdmissionEvents int64   `json:"admission_events"`
 
+	// Recovery-time scoring (the sentinel HA tier metric): RecoverySecs is
+	// the worst first-fault → attainment-back-above-target episode in
+	// seconds, measured on the simulator's sub-step attainment series against
+	// RecoveryTargetPct (0 = never dipped, −1 = never recovered before the
+	// run ended). RecoveryEpisodes counts below-target episodes and
+	// AttainmentSeries publishes the per-interval mean attainment.
+	RecoveryTargetPct float64   `json:"recovery_target_pct,omitempty"`
+	RecoverySecs      float64   `json:"recovery_secs"`
+	RecoveryEpisodes  int       `json:"recovery_episodes"`
+	AttainmentSeries  []float64 `json:"attainment_per_interval,omitempty"`
+	// Restarts counts sentinel warm restarts; AnchorMin and Sentinel echo
+	// the HA configuration of the run (omitted when off, keeping default
+	// reports free of the knobs they did not use).
+	Restarts  int     `json:"restarts,omitempty"`
+	AnchorMin float64 `json:"anchor_min,omitempty"`
+	Sentinel  bool    `json:"sentinel,omitempty"`
+
 	// Cost vs the fault-free baseline (same seed, no injector).
 	CostUSD              float64 `json:"cost_usd"`
 	BaselineCostUSD      float64 `json:"baseline_cost_usd"`
@@ -68,6 +85,9 @@ type AdaptiveComparison struct {
 	Revocations         int     `json:"revocations"`
 	InjectedRevocations int     `json:"injected_revocations"`
 	Score               float64 `json:"score"`
+	// RecoverySecs is the adaptive run's worst below-target episode (same
+	// definition as Report.RecoverySecs).
+	RecoverySecs float64 `json:"recovery_secs"`
 	// SLOGainPct is adaptive minus oracle-prior SLO attainment, in points.
 	SLOGainPct float64 `json:"slo_gain_pct"`
 	// CostDeltaPct is 100·(adaptive − oracle)/oracle; ≤ 0 means the
@@ -84,22 +104,34 @@ type AdaptiveComparison struct {
 }
 
 // Finalize derives the composite score and rounds every float to six
-// decimals so encodings stay stable across toolchains. The score blends the
-// three axes the paper's evaluation plots: SLO attainment (weight 0.5),
-// request survival (0.25) and cost containment vs the fault-free baseline
-// (0.25, losing a point per percent of cost inflation).
+// decimals so encodings stay stable across toolchains. Without recovery
+// scoring (RecoveryTargetPct == 0) the score blends the three axes the
+// paper's evaluation plots: SLO attainment (weight 0.5), request survival
+// (0.25) and cost containment vs the fault-free baseline (0.25, losing a
+// point per percent of cost inflation). When a recovery target is set the
+// blend gains a fourth axis — time-to-recovery, at full marks for instant
+// recovery and zero at one hour (or never) — re-weighted 0.45/0.2/0.2/0.15
+// so a 9-minute recovery and an 85-second one finally score differently.
 func (r *Report) Finalize() {
 	attain := clamp(r.SLOAttainmentPct, 0, 100)
 	survival := clamp(100*(1-r.DropFraction), 0, 100)
 	cost := clamp(100-math.Max(0, r.CostDeltaPct), 0, 100)
-	r.Score = 0.5*attain + 0.25*survival + 0.25*cost
+	if r.RecoveryTargetPct > 0 {
+		r.Score = 0.45*attain + 0.2*survival + 0.2*cost + 0.15*recoveryScore(r.RecoverySecs)
+	} else {
+		r.Score = 0.5*attain + 0.25*survival + 0.25*cost
+	}
 
 	for _, f := range []*float64{
 		&r.SLOAttainmentPct, &r.ViolationPct, &r.DropFraction, &r.DroppedReqs,
 		&r.MeanLatencySec, &r.OverloadSecs, &r.CostUSD, &r.BaselineCostUSD,
 		&r.CostDeltaPct, &r.BaselineViolationPct, &r.Score,
+		&r.RecoveryTargetPct, &r.RecoverySecs, &r.AnchorMin,
 	} {
 		*f = round6(*f)
+	}
+	for i := range r.AttainmentSeries {
+		r.AttainmentSeries[i] = round6(r.AttainmentSeries[i])
 	}
 	if a := r.Adaptive; a != nil {
 		attain := clamp(a.SLOAttainmentPct, 0, 100)
@@ -109,7 +141,11 @@ func (r *Report) Finalize() {
 			costDelta = 100 * (a.CostUSD - r.BaselineCostUSD) / r.BaselineCostUSD
 		}
 		cost := clamp(100-math.Max(0, costDelta), 0, 100)
-		a.Score = 0.5*attain + 0.25*survival + 0.25*cost
+		if r.RecoveryTargetPct > 0 {
+			a.Score = 0.45*attain + 0.2*survival + 0.2*cost + 0.15*recoveryScore(a.RecoverySecs)
+		} else {
+			a.Score = 0.5*attain + 0.25*survival + 0.25*cost
+		}
 		a.SLOGainPct = a.SLOAttainmentPct - r.SLOAttainmentPct
 		a.CostDeltaPct = 0
 		if r.CostUSD > 0 {
@@ -119,10 +155,22 @@ func (r *Report) Finalize() {
 		for _, f := range []*float64{
 			&a.SLOAttainmentPct, &a.ViolationPct, &a.DropFraction, &a.CostUSD,
 			&a.Score, &a.SLOGainPct, &a.CostDeltaPct, &a.MeanAbsDivergence,
+			&a.RecoverySecs,
 		} {
 			*f = round6(*f)
 		}
 	}
+}
+
+// recoveryScore maps a worst-episode recovery time to [0, 100]: instant
+// recovery (or no dip at all) scores 100, one hour scores 0, and a run that
+// never recovered (−1) scores 0 — an unrecovered fault is at least as bad as
+// any finite recovery.
+func recoveryScore(worstSecs float64) float64 {
+	if worstSecs < 0 {
+		return 0
+	}
+	return clamp(100*(1-worstSecs/3600), 0, 100)
 }
 
 // EncodeJSON returns the indented, deterministic JSON encoding (struct field

@@ -59,6 +59,11 @@ func (p fedPolicy) Decide(t int, observed float64) ([]int, error) {
 // between the merged view and the shard catalogs); region-outage scenarios
 // should not carry them.
 func runFedSim(opt SimOptions) (*chaos.Report, error) {
+	// The sharded federation planner does not carry the on-demand anchor
+	// bound (its per-shard inputs never mark on-demand markets), so the
+	// anchor knob is cleared rather than half-applied; the sentinel loop is
+	// purely a simulator feature and works unchanged.
+	opt.AnchorMin = 0
 	hours := 96
 	if opt.Quick {
 		hours = 36
@@ -111,6 +116,7 @@ func runFedSim(opt SimOptions) (*chaos.Report, error) {
 			TransiencyAware: true,
 			Chaos:           inj,
 			Journal:         j,
+			Sentinel:        opt.Sentinel,
 		}
 		if est != nil {
 			planner.RiskOverlay = est
@@ -185,6 +191,8 @@ func runFedSim(opt SimOptions) (*chaos.Report, error) {
 	if base.TotalCost > 0 {
 		rep.CostDeltaPct = 100 * (oracle.TotalCost - base.TotalCost) / base.TotalCost
 	}
+	scoreRecovery(rep, oracle, opt, hours)
+	rep.Adaptive.RecoverySecs, _ = chaos.RecoveryFromSeries(adaptive.Attainment, recoveryTargetPct)
 	rep.Finalize()
 	return rep, nil
 }

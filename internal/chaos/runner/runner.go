@@ -32,6 +32,35 @@ type SimOptions struct {
 	// Risk overrides the estimator configuration used for the adaptive run
 	// of lying-catalog scenarios (nil = defaultRiskConfig).
 	Risk *risk.Config
+	// AnchorMin, when positive, is the per-period minimum non-revocable
+	// (on-demand) allocation share the planner must hold — the HA anchor
+	// tier. Applied to BOTH the chaos leg and the fault-free baseline so the
+	// cost comparison stays fair. Ignored by the federated (region_outage)
+	// path, whose sharded planner does not carry the anchor bound.
+	AnchorMin float64
+	// Sentinel enables the simulator's sentinel loop: a pool of stopped
+	// on-demand standbys that warm-restart (skipping the cache warm-up
+	// window) instead of cold-launching replacements after a revocation
+	// storm.
+	Sentinel bool
+}
+
+// recoveryTargetPct is the SLO-attainment level (percent) a run must regain
+// for a below-target episode to close; see chaos.RecoveryFromSeries. 99 is
+// the paper's availability target for latency-sensitive services.
+const recoveryTargetPct = 99
+
+// scoreRecovery fills the report's recovery-time fields from a chaos leg's
+// sub-step attainment series: the worst first-fault → back-above-target
+// episode in seconds, the episode count, and the compact per-interval
+// attainment series the goldens publish.
+func scoreRecovery(rep *chaos.Report, res *sim.Result, opt SimOptions, intervals int) {
+	rep.RecoveryTargetPct = recoveryTargetPct
+	rep.RecoverySecs, rep.RecoveryEpisodes = chaos.RecoveryFromSeries(res.Attainment, recoveryTargetPct)
+	rep.AttainmentSeries = chaos.DownsampleAttainment(res.Attainment, intervals)
+	rep.Restarts = res.Restarts
+	rep.AnchorMin = opt.AnchorMin
+	rep.Sentinel = opt.Sentinel
 }
 
 // defaultRiskConfig is the estimator configuration for adaptive comparison
@@ -205,6 +234,7 @@ type runSpec struct {
 	j               *metrics.Journal
 	est             *risk.Estimator
 	name            string
+	sentinel        bool
 }
 
 // runOnce executes one simulation leg.
@@ -218,6 +248,7 @@ func runOnce(rs runSpec) (*sim.Result, error) {
 		TransiencyAware: true,
 		Chaos:           rs.in,
 		Journal:         rs.j,
+		Sentinel:        rs.sentinel,
 	}
 	if rs.est != nil {
 		// Adaptive leg: the simulator feeds the estimator ground truth
@@ -276,18 +307,23 @@ func RunSim(opt SimOptions) (*chaos.Report, error) {
 	}
 	wl := simWorkload(hours, cat)
 
+	cfg := basePortfolioConfig()
+	cfg.AMinOnDemand = opt.AnchorMin
+
 	j := metrics.NewJournal(8192)
 	sp := spikedCatalog(cat, in)
 	res, err := runOnce(runSpec{
 		simCat: sp, planCat: sp,
-		cfg: basePortfolioConfig(), wl: wl, seed: opt.Seed, in: in, j: j,
+		cfg: cfg, wl: wl, seed: opt.Seed, in: in, j: j,
+		sentinel: opt.Sentinel,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("runner: chaos run: %w", err)
 	}
 	base, err := runOnce(runSpec{
 		simCat: cat, planCat: cat,
-		cfg: basePortfolioConfig(), wl: wl, seed: opt.Seed,
+		cfg: cfg, wl: wl, seed: opt.Seed,
+		sentinel: opt.Sentinel,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("runner: baseline run: %w", err)
@@ -320,6 +356,7 @@ func RunSim(opt SimOptions) (*chaos.Report, error) {
 	if base.TotalCost > 0 {
 		rep.CostDeltaPct = 100 * (res.TotalCost - base.TotalCost) / base.TotalCost
 	}
+	scoreRecovery(rep, res, opt, hours)
 	rep.Finalize()
 	return rep, nil
 }
@@ -362,11 +399,13 @@ func runLieSim(opt SimOptions) (*chaos.Report, error) {
 	cfg := basePortfolioConfig()
 	cfg.LongRequestFrac = 0.3
 	cfg.AMaxPerMarket = 0.5
+	cfg.AMinOnDemand = opt.AnchorMin
 
 	jOracle := metrics.NewJournal(8192)
 	oracle, err := runOnce(runSpec{
 		simCat: spTruth, planCat: spDecl,
 		cfg: cfg, wl: wl, seed: opt.Seed, in: in, j: jOracle,
+		sentinel: opt.Sentinel,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("runner: oracle-prior run: %w", err)
@@ -381,6 +420,7 @@ func runLieSim(opt SimOptions) (*chaos.Report, error) {
 		simCat: spTruth, planCat: spDecl,
 		cfg: cfg, wl: wl, seed: opt.Seed, in: in,
 		j: metrics.NewJournal(8192), est: est, name: "spotweb-adaptive",
+		sentinel: opt.Sentinel,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("runner: adaptive run: %w", err)
@@ -389,6 +429,7 @@ func runLieSim(opt SimOptions) (*chaos.Report, error) {
 	base, err := runOnce(runSpec{
 		simCat: truth, planCat: declared,
 		cfg: cfg, wl: wl, seed: opt.Seed,
+		sentinel: opt.Sentinel,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("runner: baseline run: %w", err)
@@ -431,6 +472,8 @@ func runLieSim(opt SimOptions) (*chaos.Report, error) {
 	if base.TotalCost > 0 {
 		rep.CostDeltaPct = 100 * (oracle.TotalCost - base.TotalCost) / base.TotalCost
 	}
+	scoreRecovery(rep, oracle, opt, hours)
+	rep.Adaptive.RecoverySecs, _ = chaos.RecoveryFromSeries(adaptive.Attainment, recoveryTargetPct)
 	rep.Finalize()
 	return rep, nil
 }

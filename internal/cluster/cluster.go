@@ -26,6 +26,11 @@ const (
 	StateDraining
 	// StateTerminated — gone.
 	StateTerminated
+	// StateStopped — shut down but not deallocated: disks and memory image
+	// (warm caches) preserved, no capacity, no billing. A stopped server can
+	// be Restarted, which skips the cache warm-up window — the sentinel
+	// restart-vs-recreate recovery path.
+	StateStopped
 )
 
 // String implements fmt.Stringer.
@@ -41,6 +46,8 @@ func (s State) String() string {
 		return "draining"
 	case StateTerminated:
 		return "terminated"
+	case StateStopped:
+		return "stopped"
 	default:
 		return fmt.Sprintf("state(%d)", int(s))
 	}
@@ -63,6 +70,9 @@ type Server struct {
 	launchedAt, readyAt, warmAt float64
 	// terminateAt is set when draining (readyAt + warning) or on stop.
 	terminateAt float64
+	// preserveOnStop makes a draining server transition to StateStopped
+	// instead of StateTerminated when the drain expires (sentinel standby).
+	preserveOnStop bool
 }
 
 // State returns the lifecycle state as of the last Advance.
@@ -87,7 +97,11 @@ func (s *Server) Advance(now float64) {
 		}
 	case StateDraining:
 		if now >= s.terminateAt {
-			s.state = StateTerminated
+			if s.preserveOnStop {
+				s.state = StateStopped
+			} else {
+				s.state = StateTerminated
+			}
 		}
 	}
 }
@@ -96,7 +110,7 @@ func (s *Server) Advance(now float64) {
 // accounting for boot, warm-up ramp and draining.
 func (s *Server) EffectiveCapacity(now float64) float64 {
 	switch s.state {
-	case StateStarting, StateTerminated:
+	case StateStarting, StateTerminated, StateStopped:
 		return 0
 	case StateDraining:
 		// A draining server still serves until termination.
@@ -122,6 +136,11 @@ type Cluster struct {
 	StartDelay float64
 	WarmupDur  float64
 	ColdFactor float64
+	// Preserve, when non-nil, marks markets whose surplus servers ScaleTo
+	// stops-and-preserves (drain → StateStopped) instead of terminating, and
+	// whose deficits are covered by restarting stopped servers before cold
+	// launches — the sentinel standby pool.
+	Preserve []bool
 
 	servers []*Server
 	nextID  int
@@ -147,6 +166,70 @@ func (c *Cluster) Launch(mkt int, capacity, now float64) *Server {
 	return s
 }
 
+// LaunchStopped creates a pre-provisioned standby server directly in
+// StateStopped: hydrated (caches warm from a prior image) but shut down —
+// zero capacity and, in the simulator, zero billing until restarted.
+func (c *Cluster) LaunchStopped(mkt int, capacity, now float64) *Server {
+	s := &Server{
+		ID: c.nextID, Market: mkt, Capacity: capacity, ColdFactor: c.ColdFactor,
+		state: StateStopped, launchedAt: now, terminateAt: now,
+	}
+	c.nextID++
+	c.servers = append(c.servers, s)
+	return s
+}
+
+// StopPreserve shuts a server down without deallocating it: it drains for
+// grace (still serving) and then parks in StateStopped with its warm caches
+// preserved, ready for Restart. grace = 0 stops immediately.
+func (c *Cluster) StopPreserve(id int, now, grace float64) bool {
+	for _, s := range c.servers {
+		if s.ID != id || s.state == StateTerminated || s.state == StateStopped {
+			continue
+		}
+		if grace <= 0 {
+			s.state = StateStopped
+			s.terminateAt = now
+			return true
+		}
+		s.state = StateDraining
+		s.terminateAt = now + grace
+		s.preserveOnStop = true
+		return true
+	}
+	return false
+}
+
+// Restart boots a stopped server back up. The VM image (and its caches) were
+// preserved across the stop, so the server skips the cache warm-up window
+// entirely: it serves at full capacity as soon as the boot delay elapses —
+// the sentinel restart-vs-recreate gap. Billing restarts at now. Returns nil
+// if the server is not stopped.
+func (c *Cluster) Restart(id int, now float64) *Server {
+	for _, s := range c.servers {
+		if s.ID == id && s.state == StateStopped {
+			s.state = StateStarting
+			s.launchedAt = now
+			s.readyAt = now + c.StartDelay
+			s.warmAt = s.readyAt // warm caches: no warm-up ramp
+			s.preserveOnStop = false
+			return s
+		}
+	}
+	return nil
+}
+
+// StoppedServers returns the stopped (restartable) servers in ID order.
+func (c *Cluster) StoppedServers() []*Server {
+	var out []*Server
+	for _, s := range c.servers {
+		if s.state == StateStopped {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
 // Stop terminates a server immediately (voluntary scale-down).
 func (c *Cluster) Stop(id int, now float64) bool {
 	for _, s := range c.servers {
@@ -167,10 +250,11 @@ func (c *Cluster) StopGraceful(id int, now, grace float64) bool {
 }
 
 // RevokeWarning marks a server as draining: it keeps serving for the
-// warning period and terminates at now + warning.
+// warning period and terminates at now + warning. Stopped servers hold no
+// capacity and cannot drain.
 func (c *Cluster) RevokeWarning(id int, now, warning float64) *Server {
 	for _, s := range c.servers {
-		if s.ID == id && s.state != StateTerminated {
+		if s.ID == id && s.state != StateTerminated && s.state != StateStopped {
 			s.state = StateDraining
 			s.terminateAt = now + warning
 			return s
@@ -215,11 +299,12 @@ func (c *Cluster) TotalCapacity(now float64) float64 {
 	return sum
 }
 
-// CountByMarket returns live (non-draining) server counts per market index.
+// CountByMarket returns live (non-draining, non-stopped) server counts per
+// market index.
 func (c *Cluster) CountByMarket(numMarkets int) []int {
 	out := make([]int, numMarkets)
 	for _, s := range c.servers {
-		if s.state == StateDraining || s.state == StateTerminated {
+		if s.state == StateDraining || s.state == StateTerminated || s.state == StateStopped {
 			continue
 		}
 		if s.Market >= 0 && s.Market < numMarkets {
@@ -229,11 +314,13 @@ func (c *Cluster) CountByMarket(numMarkets int) []int {
 	return out
 }
 
-// ServersInMarket returns the non-draining servers bought in a market.
+// ServersInMarket returns the non-draining, non-stopped servers bought in a
+// market.
 func (c *Cluster) ServersInMarket(mkt int) []*Server {
 	var out []*Server
 	for _, s := range c.servers {
-		if s.Market == mkt && s.state != StateDraining && s.state != StateTerminated {
+		if s.Market == mkt && s.state != StateDraining && s.state != StateTerminated &&
+			s.state != StateStopped {
 			out = append(out, s)
 		}
 	}
@@ -245,13 +332,30 @@ func (c *Cluster) ServersInMarket(mkt int) []*Server {
 // (youngest first keeps warmed-up caches alive). Surplus servers are stopped
 // gracefully with a grace of StartDelay + WarmupDur — make-before-break, so
 // a portfolio shift never drops capacity before replacements are warm.
-// Draining servers do not count toward targets. It returns the numbers
-// launched and stopped.
-func (c *Cluster) ScaleTo(targets []int, capacities []float64, now float64) (started, stopped int) {
+// Draining and stopped servers do not count toward targets.
+//
+// Markets marked in Preserve get sentinel semantics: deficits restart
+// stopped servers (lowest ID first — warm caches, no warm-up window) before
+// cold-launching, and surpluses are stopped-and-preserved instead of
+// terminated, keeping a standby pool for the next storm. It returns the
+// numbers cold-launched, stopped and warm-restarted.
+func (c *Cluster) ScaleTo(targets []int, capacities []float64, now float64) (started, stopped, restarted int) {
 	grace := c.StartDelay + c.WarmupDur
 	current := c.CountByMarket(len(targets))
 	for mkt, want := range targets {
+		preserve := c.Preserve != nil && mkt < len(c.Preserve) && c.Preserve[mkt]
 		have := current[mkt]
+		if preserve && have < want {
+			for _, s := range c.StoppedServers() {
+				if have >= want {
+					break
+				}
+				if s.Market == mkt && c.Restart(s.ID, now) != nil {
+					restarted++
+					have++
+				}
+			}
+		}
 		for ; have < want; have++ {
 			c.Launch(mkt, capacities[mkt], now)
 			started++
@@ -263,12 +367,16 @@ func (c *Cluster) ScaleTo(targets []int, capacities []float64, now float64) (sta
 				return victims[i].launchedAt > victims[j].launchedAt
 			})
 			for k := 0; k < have-want && k < len(victims); k++ {
-				c.StopGraceful(victims[k].ID, now, grace)
+				if preserve {
+					c.StopPreserve(victims[k].ID, now, grace)
+				} else {
+					c.StopGraceful(victims[k].ID, now, grace)
+				}
 				stopped++
 			}
 		}
 	}
-	return started, stopped
+	return started, stopped, restarted
 }
 
 // LatencyModel converts utilization into response times using an M/M/1

@@ -124,13 +124,13 @@ func TestCountByMarketExcludesDraining(t *testing.T) {
 func TestScaleToLaunchesAndStops(t *testing.T) {
 	c := New(0, 0, 0.4)
 	caps := []float64{100, 50}
-	started, stopped := c.ScaleTo([]int{2, 1}, caps, 0)
+	started, stopped, _ := c.ScaleTo([]int{2, 1}, caps, 0)
 	if started != 3 || stopped != 0 {
 		t.Fatalf("started/stopped = %d/%d", started, stopped)
 	}
 	c.Advance(1)
 	// Scale market 0 down to 1.
-	started, stopped = c.ScaleTo([]int{1, 1}, caps, 1)
+	started, stopped, _ = c.ScaleTo([]int{1, 1}, caps, 1)
 	if started != 0 || stopped != 1 {
 		t.Fatalf("started/stopped = %d/%d", started, stopped)
 	}

@@ -11,6 +11,7 @@ import (
 	"io"
 
 	"repro/internal/autoscale"
+	"repro/internal/market"
 	"repro/internal/portfolio"
 	"repro/internal/risk"
 	"repro/internal/sim"
@@ -52,6 +53,32 @@ type Options struct {
 	// RiskHalfLife overrides the evidence half-life in catalog-hours
 	// (0 keeps the default 24).
 	RiskHalfLife float64
+	// AnchorMin, when positive, is the per-period minimum on-demand
+	// (non-revocable) allocation share every SpotWeb policy must hold — the
+	// HA anchor tier (portfolio.Config.AMinOnDemand). 0 keeps the paper's
+	// unconstrained portfolio.
+	AnchorMin float64
+	// Sentinel enables the simulator's sentinel loop: stopped on-demand
+	// standbys warm-restart after revocations instead of cold launches.
+	Sentinel bool
+}
+
+// anchor applies the Options HA knobs to a policy's portfolio configuration.
+// The on-demand floor needs non-revocable capacity to anchor to, so it is
+// applied only when the catalog carries at least one non-transient market —
+// the paper's all-spot figure catalogs run unchanged. With AnchorMin == 0 the
+// returned config is identical to the input.
+func (o Options) anchor(cfg portfolio.Config, cat *market.Catalog) portfolio.Config {
+	if o.AnchorMin <= 0 {
+		return cfg
+	}
+	for _, m := range cat.Markets {
+		if !m.Transient {
+			cfg.AMinOnDemand = o.AnchorMin
+			return cfg
+		}
+	}
+	return cfg
 }
 
 // attachRisk wires the online risk estimator between a simulator and the

@@ -79,7 +79,7 @@ func Fig5(w io.Writer, opt Options) Fig5Result {
 
 	// Fig 5(d): SpotWeb MPO with oracle workload and oracle prices (the
 	// paper's oracle-predictor setting for this experiment).
-	swPol := autoscale.NewSpotWeb(portfolio.Config{Horizon: 4, ChurnKappa: 0.05, DisableWarmStart: opt.ColdStart},
+	swPol := autoscale.NewSpotWeb(opt.anchor(portfolio.Config{Horizon: 4, ChurnKappa: 0.05, DisableWarmStart: opt.ColdStart}, cat),
 		cat, &predict.Oracle{Values: wl.Values}, portfolio.OracleSource{Cat: cat})
 	swRes := mustRun(cat, wl, swPol, opt, true)
 
@@ -152,7 +152,8 @@ func printAllocSeries(w io.Writer, title string, names []string, counts [][]int)
 func mustRun(cat *market.Catalog, wl *trace.Series, pol sim.Policy, opt Options, aware bool) *sim.Result {
 	s := &sim.Simulator{
 		Cfg: sim.Config{Seed: opt.seed(), TransiencyAware: aware,
-			HighUtil: opt.HighUtil, WarningSec: opt.WarningSec},
+			HighUtil: opt.HighUtil, WarningSec: opt.WarningSec,
+			Sentinel: opt.Sentinel},
 		Cat:      cat,
 		Workload: wl,
 		Policy:   pol,
@@ -195,7 +196,7 @@ func Fig6a(w io.Writer, opt Options) Fig6aResult {
 		SavingsPct: map[int]float64{},
 	}
 	for _, h := range []int{2, 4} {
-		pol := autoscale.NewSpotWeb(portfolio.Config{Horizon: h, ChurnKappa: 0.05, DisableWarmStart: opt.ColdStart},
+		pol := autoscale.NewSpotWeb(opt.anchor(portfolio.Config{Horizon: h, ChurnKappa: 0.05, DisableWarmStart: opt.ColdStart}, cat),
 			cat, &predict.Oracle{Values: wl.Values}, portfolio.OracleSource{Cat: cat})
 		r := mustRun(cat, wl, pol, opt, true)
 		res.SpotWeb[h] = r.TotalCost
@@ -271,7 +272,7 @@ func Fig6b(w io.Writer, opt Options, workload string) Fig6bResult {
 				StepHrs: 1.0 / perHour, ARLag1: true, CIProb: 0.99}, h)
 			predict.Pretrain(wlPred, full, trainN)
 			pol := autoscale.NewSpotWeb(
-				portfolio.Config{Horizon: h, ChurnKappa: 1.0, DisableWarmStart: opt.ColdStart},
+				opt.anchor(portfolio.Config{Horizon: h, ChurnKappa: 1.0, DisableWarmStart: opt.ColdStart}, cat),
 				cat, wlPred, portfolio.MeanRevertSource{Cat: cat})
 			r := mustRun(cat, wl, pol, opt, true)
 			row = append(row, 100*Savings(CostWithPenalty(r, 0.02), exoCost))

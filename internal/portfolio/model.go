@@ -93,6 +93,13 @@ type Config struct {
 	// AMaxPerMarket is aMax, the per-market allocation cap (1 disables
 	// forced diversification and lets the optimizer choose).
 	AMaxPerMarket float64
+	// AMinOnDemand is the sentinel HA anchor floor: the minimum total
+	// allocation share that must sit on non-revocable (on-demand) markets in
+	// every period, priced by the optimizer against the on-demand premium.
+	// Zero (the default) disables the constraint entirely — the program, its
+	// KKT layout and its floating-point behaviour are then identical to the
+	// anchor-free formulation. Requires Inputs.OnDemand when positive.
+	AMinOnDemand float64
 	// Horizon is H, the look-ahead length in intervals (H = 1 ⇒ SPO).
 	Horizon int
 	// ChurnKappa is the quadratic switching-cost weight coupling adjacent
@@ -180,6 +187,10 @@ type Inputs struct {
 	RiskOp RiskApplier
 	// RiskDim must be set to N when Risk is nil (RiskOp carries no shape).
 	RiskDim int
+	// OnDemand[i] marks market i as non-revocable (on-demand) — the anchor
+	// asset class. Only consulted when Config.AMinOnDemand > 0; nil is fine
+	// otherwise.
+	OnDemand []bool
 	// PrevAlloc is A_{t−1}, used by the churn term; nil means zero.
 	PrevAlloc linalg.Vector
 	// ShortfallMAE is the tracked mean-absolute prediction error used to
@@ -221,7 +232,22 @@ func (in *Inputs) Validate(h int) (int, error) {
 	if in.PrevAlloc != nil && len(in.PrevAlloc) != n {
 		return 0, fmt.Errorf("portfolio: PrevAlloc has %d markets, want %d", len(in.PrevAlloc), n)
 	}
+	if in.OnDemand != nil && len(in.OnDemand) != n {
+		return 0, fmt.Errorf("portfolio: OnDemand has %d markets, want %d", len(in.OnDemand), n)
+	}
 	return n, nil
+}
+
+// anchorIdx returns the indices of the on-demand (anchor) markets, or nil
+// when none are marked.
+func (in *Inputs) anchorIdx() []int {
+	var idx []int
+	for i, od := range in.OnDemand {
+		if od {
+			idx = append(idx, i)
+		}
+	}
+	return idx
 }
 
 // linearCost returns the linear objective coefficient for market i at step τ:

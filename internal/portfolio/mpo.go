@@ -162,14 +162,18 @@ func (c Config) buildLinear(in *Inputs, n int, kappa float64) linalg.Vector {
 	return q
 }
 
-// feasibleSet builds the horizon-stacked projection set (constraints 7–10).
-func (c Config) feasibleSet(n int) *solver.ProductSet {
+// feasibleSet builds the horizon-stacked projection set (constraints 7–10),
+// plus the per-period anchor floor Σ_OD A ≥ AMinOnDemand when configured.
+func (c Config) feasibleSet(n int, anchorIdx []int) *solver.ProductSet {
 	blocks := make([]*solver.BoxBand, c.Horizon)
 	for τ := 0; τ < c.Horizon; τ++ {
 		lo := linalg.NewVector(n)
 		hi := linalg.NewVector(n)
 		hi.Fill(c.AMaxPerMarket)
 		blocks[τ] = solver.NewBoxBand(lo, hi, c.AMin, c.AMax)
+		if c.AMinOnDemand > 0 {
+			blocks[τ].WithAnchor(anchorIdx, c.AMinOnDemand)
+		}
 	}
 	return solver.NewProductSet(blocks)
 }
@@ -195,6 +199,19 @@ func OptimizeWarm(cfg Config, in *Inputs, warm *solver.WarmState) (*Plan, error)
 	if c.AMin > float64(n)*c.AMaxPerMarket {
 		return nil, fmt.Errorf("portfolio: AMin %v unreachable with %d markets capped at %v",
 			c.AMin, n, c.AMaxPerMarket)
+	}
+	if c.AMinOnDemand > 0 {
+		nOD := len(in.anchorIdx())
+		if nOD == 0 {
+			return nil, fmt.Errorf("portfolio: AMinOnDemand %v set but no on-demand markets marked", c.AMinOnDemand)
+		}
+		if c.AMinOnDemand > float64(nOD)*c.AMaxPerMarket {
+			return nil, fmt.Errorf("portfolio: AMinOnDemand %v unreachable with %d on-demand markets capped at %v",
+				c.AMinOnDemand, nOD, c.AMaxPerMarket)
+		}
+		if c.AMinOnDemand > c.AMax {
+			return nil, fmt.Errorf("portfolio: AMinOnDemand %v exceeds AMax %v", c.AMinOnDemand, c.AMax)
+		}
 	}
 	start := time.Now()
 	var res solver.Result
@@ -246,10 +263,14 @@ func (c Config) solveFISTA(in *Inputs, n int, warm *solver.WarmState) solver.Res
 		risk = in.RiskOp
 	}
 	ws := parallel.PoolFor(c.Parallelism)
+	var anchorIdx []int
+	if c.AMinOnDemand > 0 {
+		anchorIdx = in.anchorIdx()
+	}
 	pp := &solver.ProjectedProblem{
 		P: newHorizonOperator(risk, c.Alpha, kappa, n, c.Horizon, ws),
 		Q: c.buildLinear(in, n, kappa),
-		C: c.feasibleSet(n),
+		C: c.feasibleSet(n, anchorIdx),
 	}
 	return solver.SolveFISTA(pp, solver.FISTASettings{
 		MaxIter: c.maxIter(4000), Tol: 1e-7, Workers: ws, Warm: warm,
@@ -285,11 +306,22 @@ func (c Config) buildADMMSparse(in *Inputs, n int, kappa float64, ws *parallel.P
 	h := c.Horizon
 	dim := n * h
 	m := dim + h
+	var anchorIdx []int
+	var anchor []bool
+	if c.AMinOnDemand > 0 {
+		anchorIdx = in.anchorIdx()
+		anchor = make([]bool, n)
+		for _, i := range anchorIdx {
+			anchor[i] = true
+		}
+		m += h // one anchor-floor row per period
+	}
 	// Constraint triplets: the dim box rows (identity), then one sum row per
-	// period — 2·dim entries total.
-	is := make([]int, 0, 2*dim)
-	js := make([]int, 0, 2*dim)
-	vs := make([]float64, 0, 2*dim)
+	// period — 2·dim entries total — plus h sparse anchor rows when the
+	// on-demand floor is active.
+	is := make([]int, 0, 2*dim+h*len(anchorIdx))
+	js := make([]int, 0, 2*dim+h*len(anchorIdx))
+	vs := make([]float64, 0, 2*dim+h*len(anchorIdx))
 	l := linalg.NewVector(m)
 	u := linalg.NewVector(m)
 	for k := 0; k < dim; k++ {
@@ -304,6 +336,14 @@ func (c Config) buildADMMSparse(in *Inputs, n int, kappa float64, ws *parallel.P
 		l[row] = c.AMin
 		u[row] = c.AMax
 	}
+	for τ := 0; τ < h && anchor != nil; τ++ {
+		row := dim + h + τ
+		for _, i := range anchorIdx {
+			is, js, vs = append(is, row), append(js, τ*n+i), append(vs, 1)
+		}
+		l[row] = c.AMinOnDemand
+		u[row] = math.Inf(1)
+	}
 	return &solver.Problem{
 		POp:     newHorizonOperator(in.Risk, c.Alpha, kappa, n, h, ws),
 		Q:       c.buildLinear(in, n, kappa),
@@ -315,6 +355,7 @@ func (c Config) buildADMMSparse(in *Inputs, n int, kappa float64, ws *parallel.P
 			Risk:      in.Risk,
 			RiskScale: 2 * c.Alpha,
 			ChurnK:    2 * kappa,
+			Anchor:    anchor,
 		},
 	}
 }
@@ -373,8 +414,14 @@ func (c Config) buildADMMDense(in *Inputs, n int, kappa float64, ws *parallel.Po
 			}
 		}
 	}
-	// Constraints: box rows (identity) + one sum row per period.
+	// Constraints: box rows (identity) + one sum row per period, plus one
+	// anchor-floor row per period when the on-demand floor is active.
 	m := dim + h
+	var anchorIdx []int
+	if c.AMinOnDemand > 0 {
+		anchorIdx = in.anchorIdx()
+		m += h
+	}
 	a := linalg.NewMatrix(m, dim)
 	l := linalg.NewVector(m)
 	u := linalg.NewVector(m)
@@ -390,6 +437,14 @@ func (c Config) buildADMMDense(in *Inputs, n int, kappa float64, ws *parallel.Po
 		}
 		l[row] = c.AMin
 		u[row] = c.AMax
+	}
+	for τ := 0; τ < h && anchorIdx != nil; τ++ {
+		row := dim + h + τ
+		for _, i := range anchorIdx {
+			a.Set(row, τ*n+i, 1)
+		}
+		l[row] = c.AMinOnDemand
+		u[row] = math.Inf(1)
 	}
 	return &solver.Problem{P: p, Q: c.buildLinear(in, n, kappa), A: a, L: l, U: u}
 }

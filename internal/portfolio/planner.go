@@ -194,6 +194,13 @@ func (p *Planner) Step(t int, actualLambda float64) (*Decision, error) {
 	in, epoch := p.builder.Build(t, p.Cfg.Horizon, actualLambda)
 	in.Risk = p.Cat.CovarianceMatrix(t, p.CovWindow)
 	in.PrevAlloc = p.prevAlloc
+	if p.Cfg.AMinOnDemand > 0 {
+		od := make([]bool, p.Cat.Len())
+		for i, m := range p.Cat.Markets {
+			od[i] = !m.Transient
+		}
+		in.OnDemand = od
+	}
 
 	plan, err := p.ws.Solve(p.Cfg, p.Cat, in, epoch)
 	if err != nil {

@@ -35,13 +35,14 @@ type WarmSolver struct {
 	// same names the Planner always used. Nil disables instrumentation.
 	Metrics *metrics.Registry
 
-	warm      *solver.WarmState
-	warmN     int
-	warmH     int
-	warmCat   *market.Catalog
-	warmKind  SolverKind
-	warmEpoch uint64
-	shifted   bool
+	warm       *solver.WarmState
+	warmN      int
+	warmH      int
+	warmCat    *market.Catalog
+	warmKind   SolverKind
+	warmEpoch  uint64
+	warmAnchor float64
+	shifted    bool
 }
 
 // Solve runs one solve against in, warm-started from the previously captured
@@ -53,10 +54,11 @@ func (w *WarmSolver) Solve(cfg Config, cat *market.Catalog, in *Inputs, epoch ui
 		w.warm = nil
 		return Optimize(cfg, in)
 	}
-	if w.warm != nil && (w.warmN != n || w.warmH != h || w.warmCat != cat || w.warmKind != cfg.Solver) {
+	if w.warm != nil && (w.warmN != n || w.warmH != h || w.warmCat != cat ||
+		w.warmKind != cfg.Solver || w.warmAnchor != cfg.AMinOnDemand) {
 		w.warm = nil
 		w.Metrics.Counter("spotweb_planner_warm_invalidations_total",
-			"Warm-start states dropped because the market set, horizon or solver changed.").Inc()
+			"Warm-start states dropped because the market set, horizon, solver or anchor bound changed.").Inc()
 	}
 	if w.warm != nil && w.warmEpoch != epoch {
 		// Overlay epoch bump = the risk estimator detected a price-process
@@ -85,6 +87,7 @@ func (w *WarmSolver) Solve(cfg Config, cat *market.Catalog, in *Inputs, epoch ui
 		w.warm = plan.warm
 		w.warmN, w.warmH, w.warmCat, w.warmKind = n, h, cat, cfg.Solver
 		w.warmEpoch = epoch
+		w.warmAnchor = cfg.AMinOnDemand
 		w.shifted = false
 	}
 	return plan, nil

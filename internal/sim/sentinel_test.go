@@ -1,0 +1,259 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/market"
+	"repro/internal/metrics"
+)
+
+// TestHourlyBillingChargesHourStartPrice is the regression test for the
+// back-dated billing bug: an instance-hour opened in interval t−1 but booked
+// during interval t must be charged at the price in effect when the hour
+// STARTED. The old code re-priced it at the current interval's rate, so a
+// price step between the two intervals silently inflated (or deflated) the
+// bill.
+func TestHourlyBillingChargesHourStartPrice(t *testing.T) {
+	cat := noFailCatalog(3)
+	// Market 0 steps from 0.1 to 1.0 after interval 0. The bootstrap server
+	// launches inside interval 0, so its first hour must cost 0.1.
+	for i := range cat.Markets[0].Price.Values {
+		if i == 0 {
+			cat.Markets[0].Price.Values[i] = 0.1
+		} else {
+			cat.Markets[0].Price.Values[i] = 1.0
+		}
+	}
+	s := &Simulator{
+		Cfg:      Config{Seed: 1, TransiencyAware: true},
+		Cat:      cat,
+		Workload: flatWorkload(3, 50),
+		Policy:   &fixedPolicy{counts: []int{1, 0, 0}, name: "one"},
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three started hours: one opened in interval 0 (price 0.1), two at the
+	// stepped price. Re-pricing the first hour at booking time would charge
+	// 3 × 1.0 instead.
+	want := 0.1 + 1.0 + 1.0
+	if math.Abs(res.TotalCost-want) > 1e-9 {
+		t.Fatalf("TotalCost = %v, want %v (first hour at its start price)", res.TotalCost, want)
+	}
+}
+
+// riskStub counts ObserveRevocation calls in-package (the real estimator
+// lives in internal/risk, which sim must not import).
+type riskStub struct {
+	revocations int
+	injected    int
+}
+
+func (r *riskStub) ObserveRevocation(_ int, injected bool) {
+	r.revocations++
+	if injected {
+		r.injected++
+	}
+}
+func (r *riskStub) ObserveInterval(int, []bool, []float64) {}
+
+// Lifetime expiry must be observable as a revocation: journaled warnings and
+// replacement starts with the "lifetime" detail, and the risk estimator fed a
+// non-injected revocation per expiry. Before the fix the expiry path silently
+// drained servers — resilience scoring and the estimator never saw it.
+func TestLifetimeExpiryIsObservable(t *testing.T) {
+	j := metrics.NewJournal(4096)
+	rs := &riskStub{}
+	s := &Simulator{
+		Cfg: Config{Seed: 2, TransiencyAware: true, MaxLifetimeHrs: 10,
+			Journal: j, Risk: rs},
+		Cat:      noFailCatalog(48),
+		Workload: flatWorkload(48, 300),
+		Policy:   &fixedPolicy{counts: []int{4, 0, 0}, name: "stable"},
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	warnings, replacements := 0, 0
+	for _, ev := range j.Events() {
+		if ev.Detail != "lifetime" {
+			continue
+		}
+		switch ev.Type {
+		case metrics.EvWarning:
+			warnings++
+		case metrics.EvReplacementStarted:
+			replacements++
+		}
+	}
+	if warnings == 0 {
+		t.Fatal("lifetime expiries must journal revocation warnings")
+	}
+	if replacements != warnings {
+		t.Fatalf("lifetime replacements = %d, want one per warning (%d)", replacements, warnings)
+	}
+	if rs.revocations != warnings {
+		t.Fatalf("risk observer saw %d revocations, want %d", rs.revocations, warnings)
+	}
+	if rs.injected != 0 {
+		t.Fatalf("lifetime expiries are natural, got %d injected", rs.injected)
+	}
+}
+
+// Lifetime expiries must respect an active warning-degradation fault: with
+// warnings lost the expiring server terminates before its replacement boots,
+// opening a capacity hole the undegraded run does not have. The old code
+// always granted the full warning, making lifetime churn immune to chaos.
+func TestLifetimeWarnScaleApplied(t *testing.T) {
+	run := func(loseWarnings bool) *Result {
+		var in *chaos.Injector
+		if loseWarnings {
+			sc := &chaos.Scenario{Name: "lifetime-loss", Faults: []chaos.FaultSpec{
+				{Kind: chaos.KindWarningLoss, Start: 0, Duration: 1},
+			}}
+			var err error
+			in, err = chaos.Compile(sc, 1, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		s := &Simulator{
+			Cfg: Config{Seed: 2, TransiencyAware: true, MaxLifetimeHrs: 10,
+				Chaos: in},
+			Cat:      noFailCatalog(48),
+			Workload: flatWorkload(48, 380), // ~95% of 400: a hole must hurt
+			Policy:   &fixedPolicy{counts: []int{4, 0, 0}, name: "stable"},
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	clean := run(false)
+	degraded := run(true)
+	if degraded.ViolationPct <= clean.ViolationPct {
+		t.Fatalf("lost warnings must worsen lifetime churn: degraded %v%% vs clean %v%%",
+			degraded.ViolationPct, clean.ViolationPct)
+	}
+}
+
+func TestPruneDead(t *testing.T) {
+	dead := []deadRouting{
+		{until: 1.0, fraction: 0.1},
+		{until: 2.0, fraction: 0.2},
+		{until: 3.0, fraction: 0.3},
+	}
+	dead = pruneDead(dead, 2.5)
+	if len(dead) != 1 || dead[0].until != 3.0 {
+		t.Fatalf("pruneDead kept %v, want only the until=3 entry", dead)
+	}
+	// Boundary: now == until is expired (routing window closed).
+	dead = pruneDead(dead, 3.0)
+	if len(dead) != 0 {
+		t.Fatalf("entry at its deadline must be pruned, kept %v", dead)
+	}
+	if got := pruneDead(nil, 1); got != nil {
+		t.Fatalf("nil slice must stay nil, got %v", got)
+	}
+}
+
+// The attainment series must cover every sub-step of every simulated interval
+// in time order, with percentages in [0, 100].
+func TestAttainmentSeriesShape(t *testing.T) {
+	cat := noFailCatalog(6)
+	s := &Simulator{
+		Cfg:      Config{Seed: 1, TransiencyAware: true},
+		Cat:      cat,
+		Workload: flatWorkload(6, 150),
+		Policy:   &fixedPolicy{counts: []int{2, 0, 0}, name: "m"},
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLen := 5 * Config{}.WithDefaults().SubSteps
+	if len(res.Attainment) != wantLen {
+		t.Fatalf("attainment samples = %d, want %d", len(res.Attainment), wantLen)
+	}
+	prev := math.Inf(-1)
+	for _, p := range res.Attainment {
+		if p.TimeHrs <= prev {
+			t.Fatalf("attainment series not strictly increasing in time at %v", p.TimeHrs)
+		}
+		prev = p.TimeHrs
+		if p.Pct < 0 || p.Pct > 100 {
+			t.Fatalf("attainment %v out of [0, 100]", p.Pct)
+		}
+	}
+}
+
+// sentinelStorm compiles a one-market storm at mid-run for a catalog of n
+// markets, inside a warning-loss window: with the drain grace gone the fleet
+// terminates immediately, so recovery time is governed purely by how fast
+// replacement capacity comes up — the restart-vs-recreate gap under test.
+func sentinelStorm(t *testing.T, n int) *chaos.Injector {
+	t.Helper()
+	in, err := chaos.Compile(&chaos.Scenario{Name: "sentinel-storm", Faults: []chaos.FaultSpec{
+		{Kind: chaos.KindWarningLoss, Start: 0.45, Duration: 0.2},
+		{Kind: chaos.KindStorm, Start: 0.5, Count: 1},
+	}}, 1, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// The sentinel loop must warm-restart stopped anchor standbys on a storm and
+// recover the SLO strictly faster than the cold-launch baseline.
+func TestSentinelRestartsAndRecoversFaster(t *testing.T) {
+	run := func(sentinel bool) *Result {
+		// One instance type with its on-demand twin: the standby pool has the
+		// same per-server capacity as the stormed fleet.
+		cat := market.CatalogConfig{Seed: 4, NumTypes: 1, IncludeOnDemand: true, Hours: 24}.Generate()
+		for _, m := range cat.Markets {
+			if m.Transient {
+				for i := range m.FailProb.Values {
+					m.FailProb.Values[i] = 0
+				}
+			}
+		}
+		counts := make([]int, cat.Len())
+		counts[0] = 4 // all capacity in one transient market: the storm target
+		// A long cache warm-up makes the restart-vs-recreate gap unambiguous
+		// at the 60 s attainment sampling resolution: restarted standbys are
+		// full after the 55 s boot, cold replacements ramp for 10 minutes.
+		// Demand is sized so the two standbys alone can carry it.
+		s := &Simulator{
+			Cfg: Config{Seed: 4, TransiencyAware: true, Sentinel: sentinel,
+				WarmupSec: 600, Chaos: sentinelStorm(t, cat.Len())},
+			Cat:      cat,
+			Workload: flatWorkload(24, 0.45*4*cat.Markets[0].Type.Capacity),
+			Policy:   &fixedPolicy{counts: counts, name: "fixed"},
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	cold := run(false)
+	warm := run(true)
+	if cold.Restarts != 0 {
+		t.Fatalf("baseline performed %d restarts with sentinel off", cold.Restarts)
+	}
+	if warm.Restarts == 0 {
+		t.Fatal("sentinel run performed no warm restarts")
+	}
+	coldSecs, _ := chaos.RecoveryFromSeries(cold.Attainment, 99)
+	warmSecs, _ := chaos.RecoveryFromSeries(warm.Attainment, 99)
+	if coldSecs <= 0 {
+		t.Fatalf("storm must dip the cold baseline below target (recovery %v s)", coldSecs)
+	}
+	if warmSecs < 0 || warmSecs >= coldSecs {
+		t.Fatalf("sentinel recovery %v s must beat cold %v s", warmSecs, coldSecs)
+	}
+}

@@ -88,6 +88,23 @@ type Config struct {
 	// interval, after its revocations fired and before the next planning
 	// round). Nil costs one branch per interval.
 	Risk RiskObserver
+	// Sentinel enables the sentinel HA recovery loop: on-demand (anchor)
+	// markets get stop/restart semantics — planner scale-downs park surplus
+	// anchor servers in StateStopped instead of terminating them, a small
+	// standby pool is pre-provisioned stopped at bootstrap, and when a
+	// revocation forces a reprovision the controller *restarts* stopped
+	// anchor capacity (boot delay only, warm caches) before cold-launching
+	// replacements — the Containarium restart-vs-recreate gap.
+	Sentinel bool
+	// SentinelStandby is the number of pre-provisioned stopped standby
+	// servers the sentinel keeps (default 2 when Sentinel is on).
+	SentinelStandby int
+	// SentinelShare is the fraction of current demand the stopped standby
+	// pool must be able to absorb as warm capacity (default 1 when Sentinel
+	// is on: a correlated storm that takes out the whole serving fleet can
+	// be re-covered with restarts alone). Stopped servers are deallocated
+	// compute — the pool costs nothing until restarted.
+	SentinelShare float64
 	// QueueDeadlineSec lets the admission controller *delay* rather than
 	// drop overload (§4.4: "dropping or delaying requests"): excess
 	// requests wait in a bounded FIFO and are served late (counted as SLO
@@ -125,6 +142,12 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.HighUtil <= 0 {
 		c.HighUtil = 0.85
+	}
+	if c.Sentinel && c.SentinelStandby <= 0 {
+		c.SentinelStandby = 2
+	}
+	if c.Sentinel && c.SentinelShare <= 0 {
+		c.SentinelShare = 1
 	}
 	if c.Latency.BaseServiceTime <= 0 {
 		c.Latency = cluster.DefaultLatencyModel()
@@ -174,7 +197,15 @@ type Result struct {
 	AdmissionEvents int
 	Launches        int
 	Stops           int
-	Intervals       []IntervalMetrics
+	// Restarts counts sentinel warm restarts of stopped servers (boot delay
+	// only — no cache warm-up), both reactive and planner-driven.
+	Restarts  int
+	Intervals []IntervalMetrics
+	// Attainment is the instantaneous SLO-attainment series sampled at every
+	// sub-step — the input to the chaos recovery-time scoring (RecoverySecs
+	// needs sub-interval resolution; per-interval numbers cannot tell an
+	// 85-second recovery from a 9-minute one).
+	Attainment []chaos.AttainPoint
 }
 
 // DropFraction returns dropped / offered.
@@ -229,6 +260,15 @@ func (s *Simulator) Run() (*Result, error) {
 	caps := make([]float64, s.Cat.Len())
 	for i, m := range s.Cat.Markets {
 		caps[i] = m.Type.Capacity
+	}
+	if cfg.Sentinel {
+		// Anchor (on-demand) markets get stop/restart semantics: surplus is
+		// preserved as standby instead of terminated, deficits restart warm.
+		preserve := make([]bool, s.Cat.Len())
+		for i, m := range s.Cat.Markets {
+			preserve[i] = !m.Transient
+		}
+		cl.Preserve = preserve
 	}
 
 	res := &Result{Policy: s.Policy.Name(), Actions: make(map[string]int)}
@@ -297,9 +337,38 @@ func (s *Simulator) Run() (*Result, error) {
 			// cluster (the paper's testbed likewise starts warmed).
 			scaleAt = tStart - (cfg.StartDelaySec+cfg.WarmupSec+1)/secPerHr
 		}
-		started, stopped := cl.ScaleTo(counts, caps, scaleAt)
+		started, stopped, restarted := cl.ScaleTo(counts, caps, scaleAt)
 		res.Launches += started
 		res.Stops += stopped
+		res.Restarts += restarted
+		if cfg.Sentinel {
+			// Maintain the sentinel standby pool: hydrated, stopped (and
+			// unbilled) servers in the cheapest on-demand market, ready for a
+			// warm restart when a storm hits. The pool is topped back up every
+			// planning round — restarts consume it — to SentinelShare of the
+			// current demand (so a correlated storm can be absorbed with warm
+			// capacity alone), with SentinelStandby as a count floor.
+			od, odCost := -1, 0.0
+			for i, m := range s.Cat.Markets {
+				if m.Transient {
+					continue
+				}
+				if c := m.PerRequestCostAt(t); od == -1 || c < odCost {
+					od, odCost = i, c
+				}
+			}
+			if od >= 0 {
+				pool := 0.0
+				for _, sb := range cl.StoppedServers() {
+					pool += sb.Capacity
+				}
+				target := cfg.SentinelShare * lambda
+				for k := 0; (pool < target || len(cl.StoppedServers()) < cfg.SentinelStandby) && k < 256; k++ {
+					sb := cl.LaunchStopped(od, caps[od], scaleAt)
+					pool += sb.Capacity
+				}
+			}
+		}
 
 		// Exposure snapshot for the risk estimator: a market-interval is
 		// "observed" when the market holds live servers at the moment
@@ -408,7 +477,8 @@ func (s *Simulator) Run() (*Result, error) {
 			// 24 h termination).
 			if cfg.MaxLifetimeHrs > 0 {
 				for _, srv := range cl.Servers() {
-					if srv.State() == cluster.StateDraining || srv.State() == cluster.StateTerminated {
+					if srv.State() == cluster.StateDraining || srv.State() == cluster.StateTerminated ||
+						srv.State() == cluster.StateStopped {
 						continue
 					}
 					if !s.Cat.Markets[srv.Market].Transient {
@@ -416,9 +486,20 @@ func (s *Simulator) Run() (*Result, error) {
 					}
 					if now-srv.LaunchedAt() >= cfg.MaxLifetimeHrs {
 						mkt := srv.Market
-						cl.RevokeWarning(srv.ID, now, warningHrs)
+						// Lifetime expiry is a revocation like any other: the
+						// journal, the risk estimator and the active chaos
+						// warning scale all see it (previously it was invisible
+						// to resilience scoring and fired with a full warning
+						// even while warnings were degraded).
+						effWarnHrs := warningHrs * cfg.Chaos.WarnScale(x)
+						cl.RevokeWarning(srv.ID, now, effWarnHrs)
+						cfg.Journal.Record(metrics.EvWarning, srv.ID, mkt, "lifetime")
+						if cfg.Risk != nil {
+							cfg.Risk.ObserveRevocation(mkt, false)
+						}
 						if cfg.TransiencyAware {
-							cl.Launch(mkt, caps[mkt], now)
+							repl := cl.Launch(mkt, caps[mkt], now)
+							cfg.Journal.Record(metrics.EvReplacementStarted, repl.ID, mkt, "lifetime")
 							res.Launches++
 						}
 					}
@@ -465,11 +546,48 @@ func (s *Simulator) Run() (*Result, error) {
 					}
 					res.Actions[action.String()]++
 					cfg.Journal.Record(metrics.EvDrainStart, -1, rv.market, action.String())
+					// Sentinel path first: restart stopped anchor capacity
+					// (boot delay only — the caches are warm) before
+					// recreating anything cold. This is the restart-vs-
+					// recreate gap the standby pool exists for. Restarts fire
+					// on EVERY revocation — the LB's decision governs traffic
+					// placement, the sentinel governs capacity restoration —
+					// and keep going past the lost amount until the projected
+					// fleet covers demand again, so a mid-interval storm does
+					// not leave the survivors pinned above the latency knee
+					// until the next planning round.
+					if cfg.Sentinel {
+						// Projected steady-state fleet once the dust settles:
+						// draining victims and parked surplus evaporate, booting
+						// servers (including the just-revoked market's — a storm
+						// can hit servers that never finished booting, whose
+						// instantaneous EffectiveCapacity is 0 but whose loss is
+						// real) reach nameplate. Restart standbys until the
+						// projection covers demand again.
+						projected := 0.0
+						for _, srv := range cl.Servers() {
+							if st := srv.State(); st == cluster.StateStarting || st == cluster.StateRunning {
+								projected += srv.Capacity
+							}
+						}
+						for _, sb := range cl.StoppedServers() {
+							if projected >= lambda {
+								break
+							}
+							if rs := cl.Restart(sb.ID, rv.warnAt); rs != nil {
+								lost -= rs.Capacity
+								projected += rs.Capacity
+								res.Restarts++
+								cfg.Journal.Record(metrics.EvReplacementStarted, rs.ID, rs.Market, "sentinel-restart")
+							}
+						}
+					}
 					if action != lb.ActionRedistribute {
-						// Reprovision: replace lost capacity in the cheapest
-						// surviving transient market (reactive reprovision).
+						// Reprovision: replace remaining lost capacity in the
+						// cheapest surviving transient market (reactive,
+						// cold — start delay plus cache warm-up).
 						repl := s.cheapestAlive(t, x, revs)
-						if repl >= 0 {
+						if lost > 0 && repl >= 0 {
 							need := int(math.Ceil(lost / caps[repl]))
 							for r := 0; r < need; r++ {
 								srv := cl.Launch(repl, caps[repl], rv.warnAt)
@@ -494,19 +612,24 @@ func (s *Simulator) Run() (*Result, error) {
 			}
 			// Hourly billing accrues the moment an instance-hour starts:
 			// a server alive now owes the full hour even if it terminates
-			// minutes later (the churn cost of abandoned hours).
+			// minutes later (the churn cost of abandoned hours). Stopped
+			// servers are deallocated compute — they accrue nothing until
+			// restarted (Restart re-bases LaunchedAt).
 			if !cfg.PerSecondBilling {
 				for _, srv := range cl.Servers() {
-					if srv.State() == cluster.StateTerminated {
+					if srv.State() == cluster.StateTerminated || srv.State() == cluster.StateStopped {
 						continue
 					}
 					until, ok := billedUntil[srv.ID]
-					if !ok {
+					if !ok || until < srv.LaunchedAt() {
 						until = srv.LaunchedAt()
 					}
-					price := s.Cat.Markets[srv.Market].PriceAt(t)
 					for until <= now {
-						im.Cost += price
+						// Each hour is charged at the price in effect when the
+						// hour STARTED, not when the charge is booked — an hour
+						// opened in interval t−1 must not be re-priced at
+						// interval t's rate across the boundary.
+						im.Cost += s.Cat.Markets[srv.Market].PriceAt(int(until / stepHrs))
 						until += 1.0
 					}
 					billedUntil[srv.ID] = until
@@ -520,6 +643,10 @@ func (s *Simulator) Run() (*Result, error) {
 			offered := lambda
 			// Dead-routing drops (vanilla only): that traffic share never
 			// reaches a live server once the revoked machines terminate.
+			// Expired entries are pruned first — the slice is scanned every
+			// sub-step, so an append-only slice would grow memory and
+			// per-step cost without bound on long transiency-unaware runs.
+			dead = pruneDead(dead, now)
 			deadFrac := 0.0
 			for _, d := range dead {
 				if now >= d.until-cfg.DetectionDelaySec/secPerHr && now < d.until {
@@ -578,11 +705,26 @@ func (s *Simulator) Run() (*Result, error) {
 			}
 			im.Violations += viol
 			violTotal += viol
+			// Instantaneous SLO attainment at sub-step resolution — the
+			// series recovery-time scoring runs over.
+			attain := 100.0
+			if lambda > 0 {
+				attain = 100 * (1 - viol/(lambda*dt))
+				if attain < 0 {
+					attain = 0
+				} else if attain > 100 {
+					attain = 100
+				}
+			}
+			res.Attainment = append(res.Attainment, chaos.AttainPoint{TimeHrs: now, Pct: attain})
 		}
 		// Per-second billing charges each live server pro-rata at interval
 		// end; hourly billing accrued inside the sub-step loop above.
 		if cfg.PerSecondBilling {
 			for _, srv := range cl.Servers() {
+				if srv.State() == cluster.StateStopped {
+					continue
+				}
 				price := s.Cat.Markets[srv.Market].PriceAt(t)
 				im.Cost += price * stepHrs
 			}
@@ -713,6 +855,22 @@ func (s *Simulator) cheapestAlive(t int, x float64, revs []*revocation) int {
 		}
 	}
 	return best
+}
+
+// pruneDead drops dead-routing entries whose detection window has fully
+// elapsed (now >= until): they can never contribute to deadFrac again. The
+// slice is compacted in place.
+func pruneDead(dead []deadRouting, now float64) []deadRouting {
+	if len(dead) == 0 {
+		return dead
+	}
+	kept := dead[:0]
+	for _, d := range dead {
+		if now < d.until {
+			kept = append(kept, d)
+		}
+	}
+	return kept
 }
 
 // normCDF is the standard normal CDF.

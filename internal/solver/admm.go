@@ -175,8 +175,11 @@ func factorKKT(p *Problem, sigma, rho float64, ws *parallel.Pool) (kktFactor, er
 //
 //	D_τ = RiskScale·Risk + (σ + ρ + ChurnK·dc(τ))·I + ρ·1·1ᵀ
 //
-// and constant off-diagonal blocks −ChurnK·I. Factoring costs O(H·N³) and
-// peak memory O(H·N²) — the full dense KKT is never materialized.
+// and constant off-diagonal blocks −ChurnK·I. A declared anchor tier adds one
+// more aggregate row per period (the Σ over on-demand coordinates), whose
+// AᵀA contribution is a second rank-one term ρ·s·sᵀ with s the anchor
+// indicator. Factoring costs O(H·N³) and peak memory O(H·N²) — the full dense
+// KKT is never materialized.
 func factorBlockKKT(p *Problem, sigma, rho float64) (kktFactor, error) {
 	b := p.Block
 	n, h := b.N, b.H
@@ -188,6 +191,13 @@ func factorBlockKKT(p *Problem, sigma, rho float64) (kktFactor, error) {
 			risk := b.Risk.Data[i*n : (i+1)*n]
 			for j := range row {
 				row[j] = b.RiskScale*risk[j] + rho
+			}
+			if b.Anchor != nil && b.Anchor[i] {
+				for j := range row {
+					if b.Anchor[j] {
+						row[j] += rho
+					}
+				}
 			}
 		}
 		dc := 2.0

@@ -94,6 +94,12 @@ type MPOStructure struct {
 	RiskScale float64
 	// ChurnK is twice the churn weight (2κ); zero decouples the periods.
 	ChurnK float64
+	// Anchor, when non-nil (length N), declares one extra aggregate row per
+	// period summing the marked coordinates — the non-revocable anchor-tier
+	// floor. The constraint matrix then stacks N·H box rows, H sum rows and
+	// H anchor rows, and the reduced KKT diagonal blocks gain a second
+	// rank-one term ρ·s·sᵀ with s the anchor indicator.
+	Anchor []bool
 }
 
 // Validate checks dimensional consistency and bound sanity.
@@ -133,8 +139,15 @@ func (p *Problem) Validate() error {
 		if b.N <= 0 || b.H <= 0 || b.N*b.H != n {
 			return fmt.Errorf("solver: Block is %d×%d periods, want %d stacked variables", b.N, b.H, n)
 		}
-		if m != n+b.H {
-			return fmt.Errorf("solver: Block layout wants %d constraint rows, A has %d", n+b.H, m)
+		wantRows := n + b.H
+		if b.Anchor != nil {
+			if len(b.Anchor) != b.N {
+				return fmt.Errorf("solver: Block anchor has %d entries, want %d", len(b.Anchor), b.N)
+			}
+			wantRows += b.H
+		}
+		if m != wantRows {
+			return fmt.Errorf("solver: Block layout wants %d constraint rows, A has %d", wantRows, m)
 		}
 		if b.Risk == nil || b.Risk.Rows != b.N || b.Risk.Cols != b.N {
 			return errors.New("solver: Block risk matrix missing or mis-shaped")

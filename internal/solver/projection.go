@@ -20,6 +20,18 @@ type BoxBand struct {
 	Lo, Hi         linalg.Vector
 	SumLo, SumHi   float64
 	maxBisectIters int
+
+	// Optional anchor constraint Σ_{i∈anchorIdx} x_i ≥ anchorMin — the
+	// non-revocable HA tier floor. Configured with WithAnchor; when unset the
+	// projection is exactly the plain box∩band bisection above.
+	anchorIdx []int
+	anchorMin float64
+	otherIdx  []int    // complement of anchorIdx
+	subA      *BoxBand // anchor coords, Σ pinned to anchorMin when active
+	subO      *BoxBand // other coords, residual budget band
+	trial     linalg.Vector
+	bufA      linalg.Vector
+	bufO      linalg.Vector
 }
 
 // NewBoxBand constructs the set; it panics on dimension mismatch and returns
@@ -29,6 +41,47 @@ func NewBoxBand(lo, hi linalg.Vector, sumLo, sumHi float64) *BoxBand {
 		panic("solver: BoxBand lo/hi length mismatch")
 	}
 	return &BoxBand{Lo: lo, Hi: hi, SumLo: sumLo, SumHi: sumHi, maxBisectIters: 100}
+}
+
+// WithAnchor adds the constraint Σ_{i∈idx} x_i ≥ min to the set — the
+// anchor-tier floor of the SpotWeb HA formulation. It returns the receiver
+// for chaining. A nil/empty idx or min ≤ 0 leaves the set (and the exact
+// floating-point behaviour of Project) untouched. The sub-problems used when
+// the anchor is active are prebuilt here so Project stays allocation-free.
+func (b *BoxBand) WithAnchor(idx []int, min float64) *BoxBand {
+	if len(idx) == 0 || min <= 0 {
+		return b
+	}
+	n := len(b.Lo)
+	isAnchor := make([]bool, n)
+	for _, i := range idx {
+		isAnchor[i] = true
+	}
+	b.anchorIdx = append([]int(nil), idx...)
+	b.anchorMin = min
+	b.otherIdx = b.otherIdx[:0]
+	for i := 0; i < n; i++ {
+		if !isAnchor[i] {
+			b.otherIdx = append(b.otherIdx, i)
+		}
+	}
+	na, no := len(b.anchorIdx), len(b.otherIdx)
+	loA, hiA := linalg.NewVector(na), linalg.NewVector(na)
+	for k, i := range b.anchorIdx {
+		loA[k], hiA[k] = b.Lo[i], b.Hi[i]
+	}
+	loO, hiO := linalg.NewVector(no), linalg.NewVector(no)
+	for k, i := range b.otherIdx {
+		loO[k], hiO[k] = b.Lo[i], b.Hi[i]
+	}
+	// When the floor is active the anchor block carries exactly min and the
+	// remaining coordinates absorb the residual total-budget band.
+	b.subA = NewBoxBand(loA, hiA, min, min)
+	b.subO = NewBoxBand(loO, hiO, b.SumLo-min, b.SumHi-min)
+	b.trial = linalg.NewVector(n)
+	b.bufA = linalg.NewVector(na)
+	b.bufO = linalg.NewVector(no)
+	return b
 }
 
 // Feasible reports whether the set is non-empty.
@@ -41,7 +94,24 @@ func (b *BoxBand) Feasible() bool {
 		minSum += b.Lo[i]
 		maxSum += b.Hi[i]
 	}
-	return b.SumLo <= b.SumHi && minSum <= b.SumHi && maxSum >= b.SumLo
+	if b.SumLo > b.SumHi || minSum > b.SumHi || maxSum < b.SumLo {
+		return false
+	}
+	if b.anchorMin > 0 {
+		// The anchor block must be able to reach its floor, and pinning it at
+		// the floor must leave the residual band reachable for the rest.
+		var hiA, loO float64
+		for _, i := range b.anchorIdx {
+			hiA += b.Hi[i]
+		}
+		for _, i := range b.otherIdx {
+			loO += b.Lo[i]
+		}
+		if hiA < b.anchorMin || b.anchorMin+loO > b.SumHi {
+			return false
+		}
+	}
+	return true
 }
 
 // clipSum returns Σ_i clip(y_i − mu, lo_i, hi_i).
@@ -63,10 +133,52 @@ func (b *BoxBand) clipSum(y linalg.Vector, mu float64) float64 {
 // one: first clip to the box; if the sum lands outside [SumLo, SumHi], solve
 // for the Lagrange multiplier μ of the active sum constraint by bisection on
 // the monotone function μ ↦ Σ clip(y−μ, lo, hi).
+//
+// With an anchor floor (WithAnchor) the projection first tries the plain
+// box∩band projection; if that already satisfies Σ_anchor ≥ anchorMin it IS
+// the constrained projection. Otherwise the floor is provably active at the
+// true projection (were it slack, the KKT system would coincide with the
+// plain one, whose unique solution violates the floor — contradiction), so
+// Σ_anchor = anchorMin exactly and the problem decouples: the anchor block
+// projects onto {box_A, Σ = anchorMin} and the rest onto the residual band
+// {box_O, Σ ∈ [SumLo−anchorMin, SumHi−anchorMin]}. Both are plain BoxBand
+// projections, so the anchored projection is exact, not approximate.
 func (b *BoxBand) Project(y linalg.Vector) {
 	if len(y) != len(b.Lo) {
 		panic("solver: BoxBand Project dimension mismatch")
 	}
+	if b.anchorMin <= 0 {
+		b.projectPlain(y)
+		return
+	}
+	copy(b.trial, y)
+	b.projectPlain(b.trial)
+	var sa float64
+	for _, i := range b.anchorIdx {
+		sa += b.trial[i]
+	}
+	if sa >= b.anchorMin-1e-12 {
+		copy(y, b.trial)
+		return
+	}
+	for k, i := range b.anchorIdx {
+		b.bufA[k] = y[i]
+	}
+	for k, i := range b.otherIdx {
+		b.bufO[k] = y[i]
+	}
+	b.subA.projectPlain(b.bufA)
+	b.subO.projectPlain(b.bufO)
+	for k, i := range b.anchorIdx {
+		y[i] = b.bufA[k]
+	}
+	for k, i := range b.otherIdx {
+		y[i] = b.bufO[k]
+	}
+}
+
+// projectPlain is the anchor-free box∩band projection.
+func (b *BoxBand) projectPlain(y linalg.Vector) {
 	s := b.clipSum(y, 0)
 	var target float64
 	switch {

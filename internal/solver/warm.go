@@ -72,8 +72,9 @@ func (w *WarmState) Primal() linalg.Vector {
 // variables: block τ takes block τ+1's values and the terminal block is
 // duplicated — the standard MPC seed for the next round's solve.
 //
-// ADMM dual/slack iterates are shifted too when their length matches the MPO
-// constraint layout (h·n box rows followed by h per-period aggregate rows);
+// ADMM dual/slack iterates are shifted too when their length matches an MPO
+// constraint layout (h·n box rows followed by h per-period aggregate rows, or
+// h·n + 2h when the anchor tier adds a second aggregate row per period);
 // any other layout drops them, which degrades the seed but never correctness.
 // Cached factorizations, scalings and Lipschitz data are layout-independent
 // and survive the shift untouched.
@@ -92,12 +93,21 @@ func (w *WarmState) ShiftHorizon(n int) {
 		shiftBlocks(w.x, n)
 		shiftBlocks(w.xPrev, n)
 		h := len(w.x) / n
-		if len(w.z) == h*n+h && len(w.y) == len(w.z) {
-			shiftBlocks(w.z[:h*n], n)
-			shiftBlocks(w.z[h*n:], 1)
-			shiftBlocks(w.y[:h*n], n)
-			shiftBlocks(w.y[h*n:], 1)
-		} else {
+		hn := h * n
+		switch {
+		case len(w.z) == hn+h && len(w.y) == len(w.z):
+			shiftBlocks(w.z[:hn], n)
+			shiftBlocks(w.z[hn:], 1)
+			shiftBlocks(w.y[:hn], n)
+			shiftBlocks(w.y[hn:], 1)
+		case len(w.z) == hn+2*h && len(w.y) == len(w.z):
+			shiftBlocks(w.z[:hn], n)
+			shiftBlocks(w.z[hn:hn+h], 1)
+			shiftBlocks(w.z[hn+h:], 1)
+			shiftBlocks(w.y[:hn], n)
+			shiftBlocks(w.y[hn:hn+h], 1)
+			shiftBlocks(w.y[hn+h:], 1)
+		default:
 			w.z, w.y = nil, nil
 		}
 	} else {
