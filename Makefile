@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-warm bench-kkt bench-lb bench-fed bench-gate loadgen fmt vet fuzz-smoke smoke chaos chaos-golden risk-sim ci
+.PHONY: build test race bench bench-warm bench-kkt bench-lb bench-fed bench-sweep bench-gate loadgen fmt vet fuzz-smoke smoke chaos chaos-golden risk-sim sweep ci
 
 build:
 	$(GO) build ./...
@@ -36,11 +36,20 @@ bench-lb:
 bench-fed:
 	sh scripts/bench_fed.sh
 
-# bench-gate reruns the LB benchmarks and fails on a >20% ns/op regression
-# against the checked-in BENCH_lb.json (what CI's bench-gate job runs).
+# bench-sweep regenerates the scenario-lab throughput baseline (engine
+# scaling w1..w8 + the real 1,000-cell quick chaos-suite sweep) into
+# BENCH_sweep.json — the DESIGN.md §15 numbers. Fails if the engine's w1/w8
+# scaling drops below 6x.
+bench-sweep:
+	sh scripts/bench_sweep.sh
+
+# bench-gate reruns the LB and sweep benchmarks and fails on a >20% ns/op
+# regression against the checked-in baselines (what CI's bench-gate job runs).
 bench-gate:
 	sh scripts/bench_lb.sh /tmp/BENCH_lb.current.json
 	$(GO) run ./scripts/benchdiff -baseline BENCH_lb.json -current /tmp/BENCH_lb.current.json -threshold 1.20
+	sh scripts/bench_sweep.sh /tmp/BENCH_sweep.current.json
+	$(GO) run ./scripts/benchdiff -baseline BENCH_sweep.json -current /tmp/BENCH_sweep.current.json -threshold 1.20
 
 # loadgen drives the closed-loop harness against the raw routing hot path —
 # the quick million-RPS sanity check.
@@ -73,6 +82,13 @@ chaos:
 # chaos-golden regenerates the golden reports after an intentional change.
 chaos-golden:
 	$(GO) run ./cmd/spotweb-chaos -suite all -quick -seed 42 -out cmd/spotweb-chaos/testdata/golden
+
+# sweep runs a small scenario-lab grid (3 scenarios x 4 seeds x 3 variants,
+# CI-sized cells) and prints the artifact — the quick interactive entry point;
+# see cmd/spotweb-sweep -help for the full grid surface.
+sweep:
+	$(GO) run ./cmd/spotweb-sweep -scenarios storm,flap,late-warning -seeds 4 \
+		-variants default,sentinel,risk -quick -workers 4
 
 # risk-sim runs the adaptive-vs-oracle-prior comparison: both catalog-lie
 # scenarios, scored reports to stdout (the Adaptive section carries the SLO

@@ -23,20 +23,18 @@ import (
 
 	"repro/internal/chaos"
 	"repro/internal/chaos/runner"
+	"repro/internal/runcfg"
 )
 
 func main() {
 	scenarioPath := flag.String("scenario", "", "path to a scenario JSON file")
 	suite := flag.String("suite", "", "built-in scenario name, or 'all' for the whole suite")
-	quick := flag.Bool("quick", false, "shrink run length for CI-sized runs")
-	seed := flag.Int64("seed", 42, "seed for scenario compilation, catalog and revocation sampling")
 	out := flag.String("out", "", "directory to write <scenario>.json reports into")
 	check := flag.String("check", "", "directory of golden reports to compare against (nonzero exit on deviation)")
 	testbedRun := flag.Bool("testbed", false, "replay on the wall-clock testbed instead of the simulator (not deterministic, no -check)")
 	testbedDur := flag.Duration("testbed-duration", 3*time.Second, "compressed run length for -testbed")
-	anchorMin := flag.Float64("anchor-min", 0, "minimum per-period on-demand (non-revocable) allocation share the planner must hold (0 = off)")
-	sentinel := flag.Bool("sentinel", false, "enable the sentinel loop: stopped on-demand standbys warm-restart after revocations instead of cold launches")
 	list := flag.Bool("list", false, "list built-in scenarios and exit")
+	rcFlags := runcfg.BindFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -45,6 +43,12 @@ func main() {
 			fmt.Printf("%-14s %s\n", name, sc.Description)
 		}
 		return
+	}
+
+	rc, err := rcFlags.Config()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 
 	scenarios, err := selectScenarios(*scenarioPath, *suite)
@@ -58,7 +62,7 @@ func main() {
 	for _, sc := range scenarios {
 		if *testbedRun {
 			sum, err := runner.RunTestbed(runner.TestbedOptions{
-				Scenario: sc, Seed: *seed, Duration: *testbedDur,
+				Scenario: sc, Seed: rc.RunSeed(), Duration: *testbedDur,
 			})
 			if err != nil {
 				fatalf("testbed %s: %v", sc.Name, err)
@@ -68,10 +72,7 @@ func main() {
 			continue
 		}
 
-		rep, err := runner.RunSim(runner.SimOptions{
-			Scenario: sc, Seed: *seed, Quick: *quick,
-			AnchorMin: *anchorMin, Sentinel: *sentinel,
-		})
+		rep, err := runner.RunSim(runner.OptionsFrom(sc, rc))
 		if err != nil {
 			fatalf("run %s: %v", sc.Name, err)
 		}

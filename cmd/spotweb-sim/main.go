@@ -17,28 +17,18 @@ import (
 	"repro/internal/federation"
 	"repro/internal/linalg"
 	"repro/internal/parallel"
-	"repro/internal/portfolio"
-	"repro/internal/risk"
+	"repro/internal/runcfg"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id: table1, fig3, fig4a, fig4cd, fig5, fig6a, fig6b, tv4, fig7a, fig7b, padding, all")
-	quick := flag.Bool("quick", false, "shrink durations for a fast run")
-	seed := flag.Int64("seed", 42, "random seed")
 	workload := flag.String("workload", "wiki", "workload for fig6b: wiki or vod")
-	parallelism := flag.Int("parallelism", 0, "optimizer worker bound: 0/1 serial, n>1 up to n workers, <0 all cores")
-	highUtil := flag.Float64("high-util", 0.85, "utilization threshold of the §6.1 revocation decision")
-	warning := flag.Float64("warning", 120, "revocation warning period in seconds")
-	warmStart := flag.Bool("warm-start", true, "warm-start receding-horizon solves from the previous round's shifted solver state")
-	kktPath := flag.String("kkt", "auto", "ADMM KKT backend: auto (size-based), dense, or sparse (structure-exploiting)")
-	anchorMin := flag.Float64("anchor-min", 0, "minimum per-period on-demand (non-revocable) allocation share (0 = off; inert on all-spot catalogs)")
-	sentinel := flag.Bool("sentinel", false, "enable the sentinel loop: stopped on-demand standbys warm-restart after revocations")
-	riskFlags := risk.BindFlags(flag.CommandLine)
+	rcFlags := runcfg.BindFlags(flag.CommandLine)
 	fedFlags := federation.BindFlags(flag.CommandLine)
 	fedOut := flag.String("fed-out", "", "write the federation scaling benchmark as JSON to this file (with -federation)")
 	flag.Parse()
 
-	kkt, err := portfolio.ParseKKTPath(*kktPath)
+	opt, err := rcFlags.Config()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -46,11 +36,7 @@ func main() {
 
 	// Route the dense linear algebra through the same pool as the solvers;
 	// results are bit-identical at any width.
-	linalg.SetPool(parallel.PoolFor(*parallelism))
-	opt := experiments.Options{Quick: *quick, Seed: *seed, Parallelism: *parallelism,
-		HighUtil: *highUtil, WarningSec: *warning, ColdStart: !*warmStart, KKT: kkt,
-		Risk: riskFlags.On, RiskQuantile: riskFlags.Quantile, RiskHalfLife: riskFlags.HalfLife,
-		AnchorMin: *anchorMin, Sentinel: *sentinel}
+	linalg.SetPool(parallel.PoolFor(opt.Parallelism))
 	w := os.Stdout
 
 	// -federation runs the federated-planner scaling benchmark directly (it

@@ -49,8 +49,8 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/monitor"
 	"repro/internal/parallel"
-	"repro/internal/portfolio"
 	"repro/internal/risk"
+	"repro/internal/runcfg"
 	"repro/internal/testbed"
 )
 
@@ -59,32 +59,31 @@ func main() {
 	monAddr := flag.String("monitor", ":8081", "monitoring REST address")
 	interval := flag.Duration("interval", 10*time.Second, "re-planning interval")
 	markets := flag.Int("markets", 6, "number of synthetic market types")
-	seed := flag.Int64("seed", 42, "random seed")
 	capScale := flag.Float64("cap-scale", 0.2, "scale factor for backend capacities (testbed-sized)")
 	warning := flag.Duration("warning", 5*time.Second, "revocation warning period")
-	highUtil := flag.Float64("high-util", 0.85, "utilization threshold of the §6.1 revocation decision")
 	admitRPS := flag.Float64("admit-rps", 0, "token-bucket admission limit on the LB hot path in req/s (0 = off)")
-	parallelism := flag.Int("parallelism", 0, "optimizer worker bound: 0/1 serial, n>1 up to n workers, <0 all cores")
-	warmStart := flag.Bool("warm-start", true, "seed each re-planning solve from the previous round's shifted solver state")
-	kktPath := flag.String("kkt", "auto", "ADMM KKT backend: auto (size-based), dense, or sparse (structure-exploiting)")
 	enableMetrics := flag.Bool("metrics", true, "enable the metrics registry, /metrics, /events and pprof")
 	slo := flag.Duration("slo", 500*time.Millisecond, "latency SLO threshold for the attainment tracker")
 	chaosScenario := flag.String("chaos-scenario", "", "chaos scenario to replay: a JSON file or a built-in name (empty = none)")
 	chaosDur := flag.Duration("chaos-duration", 10*time.Minute, "wall-clock window the chaos scenario timeline is mapped onto")
-	anchorMin := flag.Float64("anchor-min", 0, "minimum per-period on-demand (non-revocable) allocation share the planner must hold (0 = off; adds on-demand twins to the synthetic catalog)")
-	sentinel := flag.Bool("sentinel", false, "accepted for CLI parity; the warm-restart sentinel loop runs on the simulator paths (spotweb-sim, spotweb-chaos), not the wall-clock testbed")
-	riskFlags := risk.BindFlags(flag.CommandLine)
+	// The shared RunConfig set: -seed, -parallelism, -high-util, -warm-start,
+	// -kkt, -anchor-min, -sentinel and the -risk trio. The daemon keeps its
+	// own wall-clock -warning duration, so the simulator's -warning seconds
+	// override is deliberately absent here.
+	rcFlags := runcfg.BindDaemonFlags(flag.CommandLine)
 	fedFlags := federation.BindFlags(flag.CommandLine)
 	flag.Parse()
 
-	kkt, err := portfolio.ParseKKTPath(*kktPath)
+	rc, err := rcFlags.Config()
 	if err != nil {
 		log.Fatal(err)
 	}
+	seed := rc.RunSeed()
+	anchorMin := rc.AnchorMin
 
 	// Route the optimizer's dense linear algebra through the shared pool;
 	// plans are bit-identical at any width, only solve latency changes.
-	linalg.SetPool(parallel.PoolFor(*parallelism))
+	linalg.SetPool(parallel.PoolFor(rc.Parallelism))
 
 	var reg *metrics.Registry
 	var journal *metrics.Journal
@@ -100,7 +99,7 @@ func main() {
 	var cat *spotweb.Catalog
 	var fed *federation.Federation
 	if fedFlags.Enabled() {
-		fed, err = fedFlags.Build(*seed, 24*30, false)
+		fed, err = fedFlags.Build(seed, 24*30, false)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -108,29 +107,32 @@ func main() {
 		log.Printf("federation: %d regions, %d shards, %d markets", len(fed.Regions), len(fed.Shards), cat.Len())
 	} else {
 		cat = spotweb.SyntheticCatalog(spotweb.CatalogConfig{
-			Seed: *seed, NumTypes: *markets, Hours: 24 * 30,
+			Seed: seed, NumTypes: *markets, Hours: 24 * 30,
 			// The anchor floor needs non-revocable markets to anchor to.
-			IncludeOnDemand: *anchorMin > 0,
+			IncludeOnDemand: anchorMin > 0,
 		})
 	}
-	if *sentinel {
+	if rc.Sentinel {
 		log.Printf("sentinel: warm-restart standbys are a simulator-path feature; the wall-clock testbed ignores -sentinel")
 	}
-	if fed != nil && *anchorMin > 0 {
+	if fed != nil && anchorMin > 0 {
 		// The sharded federation planner does not carry the anchor bound.
 		log.Printf("anchor: -anchor-min is not supported with -federation; ignoring")
-		*anchorMin = 0
+		anchorMin = 0
 	}
 	ctrlOpts := spotweb.ControllerOptions{
 		Catalog: cat,
-		Optimizer: spotweb.OptimizerConfig{Horizon: 4, ChurnKappa: 1.0, Parallelism: *parallelism,
-			DisableWarmStart: !*warmStart, KKT: kkt, AMinOnDemand: *anchorMin},
+		Optimizer: spotweb.OptimizerConfig{Horizon: 4, ChurnKappa: 1.0, Parallelism: rc.Parallelism,
+			DisableWarmStart: rc.ColdStart, KKT: rc.KKT, AMinOnDemand: anchorMin},
 		Metrics:           reg,
 		Federation:        fed,
-		FederationPlanner: fedFlags.PlannerConfig(*parallelism),
+		FederationPlanner: fedFlags.PlannerConfig(rc.Parallelism),
 	}
-	est := riskFlags.Estimator(cat, reg)
-	if est != nil {
+	var est *risk.Estimator
+	if rc.Risk {
+		est = risk.New(risk.Config{
+			Quantile: rc.RiskQuantile, HalfLifeHrs: rc.RiskHalfLife, Metrics: reg,
+		}, cat)
 		ctrlOpts.Risk = est
 	}
 	ctrl, err := spotweb.NewController(ctrlOpts)
@@ -147,7 +149,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		in, err := chaos.Compile(sc, *seed, cat.Len())
+		in, err := chaos.Compile(sc, seed, cat.Len())
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -172,7 +174,7 @@ func main() {
 		Metrics:        reg,
 		Journal:        journal,
 		SLOTarget:      *slo,
-		HighUtil:       *highUtil,
+		HighUtil:       rc.HighUtil,
 		AdmitRPS:       *admitRPS,
 		ActionOverride: override,
 	})
@@ -242,7 +244,7 @@ func main() {
 
 	// Control loop: observe, plan, execute — until shutdown.
 	go func() {
-		rng := rand.New(rand.NewSource(*seed))
+		rng := rand.New(rand.NewSource(seed))
 		t := 0
 		observed := 20.0 // bootstrap rate until real traffic is measured
 		tick := time.NewTicker(*interval)

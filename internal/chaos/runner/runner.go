@@ -16,6 +16,7 @@ import (
 	"repro/internal/portfolio"
 	"repro/internal/predict"
 	"repro/internal/risk"
+	"repro/internal/runcfg"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -43,6 +44,45 @@ type SimOptions struct {
 	// window) instead of cold-launching replacements after a revocation
 	// storm.
 	Sentinel bool
+	// HighUtil overrides the utilization threshold of the §6.1 revocation
+	// decision (0 keeps the paper's 0.85).
+	HighUtil float64
+	// WarningSec overrides the revocation warning period (0 keeps the
+	// paper's 120 s).
+	WarningSec float64
+	// KKT selects the planner's ADMM x-update backend (zero = auto).
+	KKT portfolio.KKTPath
+	// ColdStart disables warm-started receding-horizon solves. Results are
+	// identical; only solve times change.
+	ColdStart bool
+	// Parallelism bounds the planner's worker pool (portfolio.Config
+	// semantics). Results are bit-identical at any setting.
+	Parallelism int
+	// UseRisk attaches a fresh online risk estimator to every leg of a
+	// STANDARD scenario run (chaos and baseline alike, so the comparison
+	// stays fair): the simulator feeds it ground truth and the planner
+	// consults its overlay. CatalogLie scenarios ignore it — their adaptive
+	// leg always runs an estimator (configured by Risk above).
+	UseRisk bool
+	// RiskQuantile / RiskHalfLife override the UseRisk estimator's
+	// upper-credible-bound quantile and evidence half-life (0 = defaults).
+	RiskQuantile float64
+	RiskHalfLife float64
+}
+
+// OptionsFrom maps the shared RunConfig onto a scenario's SimOptions — the
+// glue that lets cmd/spotweb-chaos and the sweep engine drive runs from the
+// one unified option struct. Zero-value RunConfig fields keep the published
+// behaviour, so OptionsFrom of an empty config reproduces the golden
+// reports byte-for-byte.
+func OptionsFrom(sc *chaos.Scenario, rc runcfg.RunConfig) SimOptions {
+	return SimOptions{
+		Scenario: sc, Seed: rc.RunSeed(), Quick: rc.Quick,
+		AnchorMin: rc.AnchorMin, Sentinel: rc.Sentinel,
+		HighUtil: rc.HighUtil, WarningSec: rc.WarningSec,
+		KKT: rc.KKT, ColdStart: rc.ColdStart, Parallelism: rc.Parallelism,
+		UseRisk: rc.Risk, RiskQuantile: rc.RiskQuantile, RiskHalfLife: rc.RiskHalfLife,
+	}
 }
 
 // recoveryTargetPct is the SLO-attainment level (percent) a run must regain
@@ -235,6 +275,10 @@ type runSpec struct {
 	est             *risk.Estimator
 	name            string
 	sentinel        bool
+	highUtil        float64
+	warningSec      float64
+	subSteps        int
+	scratch         *sim.Scratch
 }
 
 // runOnce executes one simulation leg.
@@ -249,6 +293,9 @@ func runOnce(rs runSpec) (*sim.Result, error) {
 		Chaos:           rs.in,
 		Journal:         rs.j,
 		Sentinel:        rs.sentinel,
+		HighUtil:        rs.highUtil,
+		WarningSec:      rs.warningSec,
+		SubSteps:        rs.subSteps,
 	}
 	if rs.est != nil {
 		// Adaptive leg: the simulator feeds the estimator ground truth
@@ -261,8 +308,29 @@ func runOnce(rs runSpec) (*sim.Result, error) {
 		Cat:      rs.simCat,
 		Workload: rs.wl,
 		Policy:   plannerPolicy{planner: planner, name: rs.name},
+		Scratch:  rs.scratch,
 	}
 	return s.Run()
+}
+
+// applyPlannerOpts threads the solver-shaping SimOptions fields into a leg's
+// portfolio configuration. All of them leave the solution bit-identical
+// (backend selection, warm starting and worker count change only solve
+// times), so the zero values reproduce the golden reports.
+func applyPlannerOpts(cfg *portfolio.Config, opt SimOptions) {
+	cfg.KKT = opt.KKT
+	cfg.DisableWarmStart = opt.ColdStart
+	cfg.Parallelism = opt.Parallelism
+}
+
+// newLegEstimator builds the per-leg online risk estimator when UseRisk is
+// set; declared is the catalog whose failure declarations seed its prior.
+// Returns nil (estimator-free leg, the published default) otherwise.
+func newLegEstimator(opt SimOptions, declared *market.Catalog) *risk.Estimator {
+	if !opt.UseRisk {
+		return nil
+	}
+	return risk.New(risk.Config{Quantile: opt.RiskQuantile, HalfLifeHrs: opt.RiskHalfLife}, declared)
 }
 
 // basePortfolioConfig caps any single market at 40% of the allocation so the
@@ -272,28 +340,34 @@ func basePortfolioConfig() portfolio.Config {
 	return portfolio.Config{AMaxPerMarket: 0.4}.WithDefaults()
 }
 
-// RunSim executes a scenario on the simulator and returns its resilience
-// report (finalized, ready to encode). Scenarios with a CatalogLie run in
-// comparison mode: the primary report fields score the oracle-prior planner
-// (it trusts the declared catalog, like every other scenario) and the
-// Adaptive section scores the risk-estimator planner under identical
-// faults, workload and seed.
-func RunSim(opt SimOptions) (*chaos.Report, error) {
-	if opt.Scenario == nil {
-		return nil, fmt.Errorf("runner: Scenario is required")
+// BasePortfolioConfig exposes the standard-scenario planner configuration
+// (40% per-market cap over library defaults) for callers that need to build
+// planner legs outside RunSim — notably benchmark setup.
+func BasePortfolioConfig() portfolio.Config { return basePortfolioConfig() }
+
+// IsStandard reports whether a scenario runs on the standard single-region
+// simulation path — no catalog lie, no region outage. Standard scenarios are
+// the ones whose inputs a StandardEnv can precompile and share.
+func IsStandard(sc *chaos.Scenario) bool {
+	return sc.CatalogLie == nil && !hasRegionOutage(sc)
+}
+
+// ScenarioHours is the run length RunSim uses for the quick flag: 96
+// simulated intervals normally, 36 for CI-sized runs.
+func ScenarioHours(quick bool) int {
+	if quick {
+		return 36
 	}
-	if opt.Scenario.CatalogLie != nil {
-		return runLieSim(opt)
-	}
-	if hasRegionOutage(opt.Scenario) {
-		return runFedSim(opt)
-	}
-	hours := 96
-	if opt.Quick {
-		hours = 36
-	}
-	cat := market.CatalogConfig{
-		Seed:            opt.Seed,
+	return 96
+}
+
+// StandardCatalog generates the catalog every standard (non-lie,
+// non-federated) scenario run simulates against: 3 instance types plus
+// on-demand across 2 demand pools. Exported so the sweep engine can build it
+// once per (seed, hours) and share the immutable result across scenarios.
+func StandardCatalog(seed int64, hours int) *market.Catalog {
+	return market.CatalogConfig{
+		Seed:            seed,
 		NumTypes:        3,
 		IncludeOnDemand: true,
 		Hours:           hours,
@@ -301,40 +375,105 @@ func RunSim(opt SimOptions) (*chaos.Report, error) {
 		Groups:          2,
 		BaseFailProb:    0.02,
 	}.Generate()
-	in, err := chaos.Compile(opt.Scenario, opt.Seed, cat.Len())
+}
+
+// StandardEnv is the precompiled input set of a standard scenario run: the
+// truth catalog, the compiled fault injector, the spike-transformed catalog
+// the planner and biller see, and the workload. Everything here is read-only
+// during simulation, so one env can serve any number of concurrent
+// RunStandard calls, and the Cat field can be shared between the envs of
+// different scenarios at the same (seed, hours).
+type StandardEnv struct {
+	Scenario *chaos.Scenario
+	Seed     int64
+	Hours    int
+	// SubSteps overrides the within-interval simulation resolution for every
+	// leg run from this env (0 = the simulator default, 60). Reports are only
+	// comparable across runs with equal SubSteps.
+	SubSteps int
+	Cat      *market.Catalog // fault-free truth catalog
+	Spiked   *market.Catalog // price-spike view the chaos leg plans and bills on
+	Injector *chaos.Injector
+	Workload *trace.Series
+}
+
+// NewStandardEnv compiles a standard scenario into a reusable env, generating
+// a fresh catalog. Equivalent to NewStandardEnvWithCatalog(sc, seed, hours,
+// StandardCatalog(seed, hours)).
+func NewStandardEnv(sc *chaos.Scenario, seed int64, hours int) (*StandardEnv, error) {
+	return NewStandardEnvWithCatalog(sc, seed, hours, StandardCatalog(seed, hours))
+}
+
+// NewStandardEnvWithCatalog compiles a standard scenario against a prebuilt
+// catalog, which must be StandardCatalog(seed, hours) (or bit-identical) for
+// reports to match RunSim. The catalog is not mutated — the price-spike
+// transform copies the affected series.
+func NewStandardEnvWithCatalog(sc *chaos.Scenario, seed int64, hours int, cat *market.Catalog) (*StandardEnv, error) {
+	if !IsStandard(sc) {
+		return nil, fmt.Errorf("runner: scenario %q is not a standard scenario (catalog lie or region outage)", sc.Name)
+	}
+	in, err := chaos.Compile(sc, seed, cat.Len())
 	if err != nil {
 		return nil, err
 	}
-	wl := simWorkload(hours, cat)
+	return &StandardEnv{
+		Scenario: sc,
+		Seed:     seed,
+		Hours:    hours,
+		Cat:      cat,
+		Spiked:   spikedCatalog(cat, in),
+		Injector: in,
+		Workload: simWorkload(hours, cat),
+	}, nil
+}
 
+// RunStandard executes a standard scenario from a prebuilt env and assembles
+// its report. This is the single code path behind both RunSim and the sweep
+// engine, so a sweep cell and a standalone run of the same (env, options)
+// produce byte-identical encoded reports.
+//
+// scratch, when non-nil, supplies reusable simulator working memory (one
+// Scratch per worker — a Scratch must never be shared by concurrent runs).
+// baseline, when non-nil, is a previously returned fault-free leg result for
+// this exact (seed, hours, options) and is trusted instead of re-running the
+// leg; the second return value is the baseline actually used, so callers can
+// cache it across the scenarios of a sweep (the fault-free leg does not
+// depend on the scenario). Options fields Scenario/Seed/Quick/Risk are
+// ignored here — the env carries the scenario, seed and run length.
+func RunStandard(env *StandardEnv, opt SimOptions, scratch *sim.Scratch, baseline *sim.Result) (*chaos.Report, *sim.Result, error) {
 	cfg := basePortfolioConfig()
 	cfg.AMinOnDemand = opt.AnchorMin
+	applyPlannerOpts(&cfg, opt)
 
 	j := metrics.NewJournal(8192)
-	sp := spikedCatalog(cat, in)
 	res, err := runOnce(runSpec{
-		simCat: sp, planCat: sp,
-		cfg: cfg, wl: wl, seed: opt.Seed, in: in, j: j,
-		sentinel: opt.Sentinel,
+		simCat: env.Spiked, planCat: env.Spiked,
+		cfg: cfg, wl: env.Workload, seed: env.Seed, in: env.Injector, j: j,
+		sentinel: opt.Sentinel, highUtil: opt.HighUtil, warningSec: opt.WarningSec,
+		subSteps: env.SubSteps, est: newLegEstimator(opt, env.Spiked), scratch: scratch,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("runner: chaos run: %w", err)
+		return nil, nil, fmt.Errorf("runner: chaos run: %w", err)
 	}
-	base, err := runOnce(runSpec{
-		simCat: cat, planCat: cat,
-		cfg: cfg, wl: wl, seed: opt.Seed,
-		sentinel: opt.Sentinel,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("runner: baseline run: %w", err)
+	base := baseline
+	if base == nil {
+		base, err = runOnce(runSpec{
+			simCat: env.Cat, planCat: env.Cat,
+			cfg: cfg, wl: env.Workload, seed: env.Seed,
+			sentinel: opt.Sentinel, highUtil: opt.HighUtil, warningSec: opt.WarningSec,
+			subSteps: env.SubSteps, est: newLegEstimator(opt, env.Cat), scratch: scratch,
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("runner: baseline run: %w", err)
+		}
 	}
 
 	rep := &chaos.Report{
-		Scenario:             opt.Scenario.Name,
-		Seed:                 opt.Seed,
+		Scenario:             env.Scenario.Name,
+		Seed:                 env.Seed,
 		Policy:               res.Policy,
-		Intervals:            hours,
-		Markets:              cat.Len(),
+		Intervals:            env.Hours,
+		Markets:              env.Cat.Len(),
 		InjectedRevocations:  res.InjectedRevocations,
 		NaturalRevocations:   res.Revocations - res.InjectedRevocations,
 		Actions:              make(map[string]int64, len(res.Actions)),
@@ -356,9 +495,33 @@ func RunSim(opt SimOptions) (*chaos.Report, error) {
 	if base.TotalCost > 0 {
 		rep.CostDeltaPct = 100 * (res.TotalCost - base.TotalCost) / base.TotalCost
 	}
-	scoreRecovery(rep, res, opt, hours)
+	scoreRecovery(rep, res, opt, env.Hours)
 	rep.Finalize()
-	return rep, nil
+	return rep, base, nil
+}
+
+// RunSim executes a scenario on the simulator and returns its resilience
+// report (finalized, ready to encode). Scenarios with a CatalogLie run in
+// comparison mode: the primary report fields score the oracle-prior planner
+// (it trusts the declared catalog, like every other scenario) and the
+// Adaptive section scores the risk-estimator planner under identical
+// faults, workload and seed.
+func RunSim(opt SimOptions) (*chaos.Report, error) {
+	if opt.Scenario == nil {
+		return nil, fmt.Errorf("runner: Scenario is required")
+	}
+	if opt.Scenario.CatalogLie != nil {
+		return runLieSim(opt)
+	}
+	if hasRegionOutage(opt.Scenario) {
+		return runFedSim(opt)
+	}
+	env, err := NewStandardEnv(opt.Scenario, opt.Seed, ScenarioHours(opt.Quick))
+	if err != nil {
+		return nil, err
+	}
+	rep, _, err := RunStandard(env, opt, nil, nil)
+	return rep, err
 }
 
 // runLieSim executes a CatalogLie scenario in adaptive-vs-oracle-prior
@@ -368,10 +531,7 @@ func RunSim(opt SimOptions) (*chaos.Report, error) {
 // cap) to route around it without falling back to on-demand prices.
 func runLieSim(opt SimOptions) (*chaos.Report, error) {
 	lie := opt.Scenario.CatalogLie
-	hours := 96
-	if opt.Quick {
-		hours = 36
-	}
+	hours := ScenarioHours(opt.Quick)
 	truth := market.CatalogConfig{
 		Seed:            opt.Seed,
 		NumTypes:        6,
@@ -400,12 +560,13 @@ func runLieSim(opt SimOptions) (*chaos.Report, error) {
 	cfg.LongRequestFrac = 0.3
 	cfg.AMaxPerMarket = 0.5
 	cfg.AMinOnDemand = opt.AnchorMin
+	applyPlannerOpts(&cfg, opt)
 
 	jOracle := metrics.NewJournal(8192)
 	oracle, err := runOnce(runSpec{
 		simCat: spTruth, planCat: spDecl,
 		cfg: cfg, wl: wl, seed: opt.Seed, in: in, j: jOracle,
-		sentinel: opt.Sentinel,
+		sentinel: opt.Sentinel, highUtil: opt.HighUtil, warningSec: opt.WarningSec,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("runner: oracle-prior run: %w", err)
@@ -420,7 +581,7 @@ func runLieSim(opt SimOptions) (*chaos.Report, error) {
 		simCat: spTruth, planCat: spDecl,
 		cfg: cfg, wl: wl, seed: opt.Seed, in: in,
 		j: metrics.NewJournal(8192), est: est, name: "spotweb-adaptive",
-		sentinel: opt.Sentinel,
+		sentinel: opt.Sentinel, highUtil: opt.HighUtil, warningSec: opt.WarningSec,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("runner: adaptive run: %w", err)
@@ -429,7 +590,7 @@ func runLieSim(opt SimOptions) (*chaos.Report, error) {
 	base, err := runOnce(runSpec{
 		simCat: truth, planCat: declared,
 		cfg: cfg, wl: wl, seed: opt.Seed,
-		sentinel: opt.Sentinel,
+		sentinel: opt.Sentinel, highUtil: opt.HighUtil, warningSec: opt.WarningSec,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("runner: baseline run: %w", err)

@@ -144,6 +144,9 @@ type Cluster struct {
 
 	servers []*Server
 	nextID  int
+	// countScratch backs ScaleTo's per-market census so the per-interval
+	// reconcile path does not allocate.
+	countScratch []int
 }
 
 // New creates a cluster with the given launch parameters.
@@ -314,6 +317,60 @@ func (c *Cluster) CountByMarket(numMarkets int) []int {
 	return out
 }
 
+// CountByMarketInto is CountByMarket writing into a caller-provided slice
+// (len(out) markets), for hot paths that must not allocate per interval.
+func (c *Cluster) CountByMarketInto(out []int) {
+	for i := range out {
+		out[i] = 0
+	}
+	for _, s := range c.servers {
+		if s.state == StateDraining || s.state == StateTerminated || s.state == StateStopped {
+			continue
+		}
+		if s.Market >= 0 && s.Market < len(out) {
+			out[s.Market]++
+		}
+	}
+}
+
+// CountInMarket returns the number of non-draining, non-stopped servers in a
+// market — len(ServersInMarket(mkt)) without materializing the slice. The
+// simulator queries this for every transient market every interval, so it
+// must not allocate.
+func (c *Cluster) CountInMarket(mkt int) int {
+	n := 0
+	for _, s := range c.servers {
+		if s.Market == mkt && s.state != StateDraining && s.state != StateTerminated &&
+			s.state != StateStopped {
+			n++
+		}
+	}
+	return n
+}
+
+// AppendServersInMarket appends the non-draining, non-stopped servers bought
+// in a market to dst (usually a reused scratch slice) and returns it.
+func (c *Cluster) AppendServersInMarket(dst []*Server, mkt int) []*Server {
+	for _, s := range c.servers {
+		if s.Market == mkt && s.state != StateDraining && s.state != StateTerminated &&
+			s.state != StateStopped {
+			dst = append(dst, s)
+		}
+	}
+	return dst
+}
+
+// AppendStopped appends the stopped (restartable) servers in ID order to dst
+// (usually a reused scratch slice) and returns it.
+func (c *Cluster) AppendStopped(dst []*Server) []*Server {
+	for _, s := range c.servers {
+		if s.state == StateStopped {
+			dst = append(dst, s)
+		}
+	}
+	return dst
+}
+
 // ServersInMarket returns the non-draining, non-stopped servers bought in a
 // market.
 func (c *Cluster) ServersInMarket(mkt int) []*Server {
@@ -341,7 +398,11 @@ func (c *Cluster) ServersInMarket(mkt int) []*Server {
 // numbers cold-launched, stopped and warm-restarted.
 func (c *Cluster) ScaleTo(targets []int, capacities []float64, now float64) (started, stopped, restarted int) {
 	grace := c.StartDelay + c.WarmupDur
-	current := c.CountByMarket(len(targets))
+	if cap(c.countScratch) < len(targets) {
+		c.countScratch = make([]int, len(targets))
+	}
+	current := c.countScratch[:len(targets)]
+	c.CountByMarketInto(current)
 	for mkt, want := range targets {
 		preserve := c.Preserve != nil && mkt < len(c.Preserve) && c.Preserve[mkt]
 		have := current[mkt]

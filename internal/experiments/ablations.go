@@ -33,13 +33,13 @@ func AblationChurn(w io.Writer, opt Options) ChurnAblationResult {
 	if opt.Quick {
 		days, trainDays = 3, 5
 	}
-	wcfg := trace.WikipediaLike(opt.seed())
+	wcfg := trace.WikipediaLike(opt.RunSeed())
 	wcfg.Days = days + trainDays
 	wcfg.SamplesPerHour = perHour
 	full := wcfg.Generate()
 	trainN := trainDays * 24 * perHour
 	wl := full.Slice(trainN, full.Len())
-	cat := market.CatalogConfig{Seed: opt.seed(), NumTypes: 12,
+	cat := market.CatalogConfig{Seed: opt.RunSeed(), NumTypes: 12,
 		Hours: days * 24, SamplesPerHour: perHour}.Generate()
 
 	res := ChurnAblationResult{Kappas: []float64{0, 0.25, 1.0, 4.0}}
@@ -77,12 +77,12 @@ func AblationPadding(w io.Writer, opt Options) PaddingAblationResult {
 		days, trainDays = 4, 5
 	}
 	// The spiky VoD workload makes the padding difference visible.
-	wcfg := trace.VoDLike(opt.seed())
+	wcfg := trace.VoDLike(opt.RunSeed())
 	wcfg.Days = days + trainDays
 	full := wcfg.Generate()
 	trainN := trainDays * 24
 	wl := full.Slice(trainN, full.Len())
-	cat := market.CatalogConfig{Seed: opt.seed(), NumTypes: 9, Hours: days * 24}.Generate()
+	cat := market.CatalogConfig{Seed: opt.RunSeed(), NumTypes: 9, Hours: days * 24}.Generate()
 
 	res := PaddingAblationResult{Levels: []float64{0, 0.90, 0.99}}
 	for _, ci := range res.Levels {
@@ -121,7 +121,7 @@ func AblationRisk(w io.Writer, opt Options) RiskAblationResult {
 	}
 	res := RiskAblationResult{Markets: counts}
 	for _, nm := range counts {
-		cat := market.CatalogConfig{Seed: opt.seed(), NumTypes: nm, Hours: 24 * 20}.Generate()
+		cat := market.CatalogConfig{Seed: opt.RunSeed(), NumTypes: nm, Hours: 24 * 20}.Generate()
 		tt, window := 24*18, 24*14
 		dense := cat.CovarianceMatrix(tt, window)
 		sparse := cat.SparseCovariance(tt, window, 0.01)
@@ -264,13 +264,13 @@ func DiscussionStartupDelay(w io.Writer, opt Options) StartupDelayResult {
 	if opt.Quick {
 		days, trainDays = 3, 5
 	}
-	wcfg := trace.WikipediaLike(opt.seed())
+	wcfg := trace.WikipediaLike(opt.RunSeed())
 	wcfg.Days = days + trainDays
 	wcfg.SamplesPerHour = perHour
 	full := wcfg.Generate()
 	trainN := trainDays * 24 * perHour
 	wl := full.Slice(trainN, full.Len())
-	cat := market.CatalogConfig{Seed: opt.seed(), NumTypes: 9,
+	cat := market.CatalogConfig{Seed: opt.RunSeed(), NumTypes: 9,
 		Hours: days * 24, SamplesPerHour: perHour}.Generate()
 
 	res := StartupDelayResult{Horizons: []int{1, 2, 4, 8}}
@@ -283,7 +283,7 @@ func DiscussionStartupDelay(w io.Writer, opt Options) StartupDelayResult {
 		s := &sim.Simulator{
 			// 25-minute VM start-up > 15-minute decisions (§7's "start-up
 			// time longer than the period between two predictions").
-			Cfg: sim.Config{Seed: opt.seed(), TransiencyAware: true,
+			Cfg: sim.Config{Seed: opt.RunSeed(), TransiencyAware: true,
 				StartDelaySec: 1500, WarmupSec: 120,
 				HighUtil: opt.HighUtil, WarningSec: opt.WarningSec},
 			Cat: cat, Workload: wl, Policy: pol,
@@ -319,16 +319,16 @@ func DiscussionGoogleCloud(w io.Writer, opt Options) GoogleCloudResult {
 	if opt.Quick {
 		days, trainDays = 4, 5
 	}
-	wcfg := trace.WikipediaLike(opt.seed())
+	wcfg := trace.WikipediaLike(opt.RunSeed())
 	wcfg.Days = days + trainDays
 	full := wcfg.Generate()
 	trainN := trainDays * 24
 	wl := full.Slice(trainN, full.Len())
-	cat := market.GoogleLikeCatalog(opt.seed(), 10, days*24, 1)
+	cat := market.GoogleLikeCatalog(opt.RunSeed(), 10, days*24, 1)
 
 	run := func(pol sim.Policy) *sim.Result {
 		s := &sim.Simulator{
-			Cfg: sim.Config{Seed: opt.seed(), TransiencyAware: true,
+			Cfg: sim.Config{Seed: opt.RunSeed(), TransiencyAware: true,
 				MaxLifetimeHrs: 24,
 				HighUtil:       opt.HighUtil, WarningSec: opt.WarningSec},
 			Cat: cat, Workload: wl, Policy: pol,

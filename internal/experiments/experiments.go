@@ -11,75 +11,16 @@ import (
 	"io"
 
 	"repro/internal/autoscale"
-	"repro/internal/market"
-	"repro/internal/portfolio"
 	"repro/internal/risk"
+	"repro/internal/runcfg"
 	"repro/internal/sim"
 )
 
-// Options controls experiment size and output.
-type Options struct {
-	// Quick shrinks trace lengths / durations for test-sized runs.
-	Quick bool
-	// Seed makes runs reproducible.
-	Seed int64
-	// Parallelism bounds the optimizer worker pool (portfolio.Config
-	// semantics: 0/1 serial, n > 1 bounded, negative all cores). Results are
-	// bit-identical at any setting; only the solve times change.
-	Parallelism int
-	// HighUtil overrides the utilization threshold of the §6.1 revocation
-	// decision (0 keeps the paper's 0.85).
-	HighUtil float64
-	// WarningSec overrides the revocation warning period (0 keeps the
-	// paper's 120 s).
-	WarningSec float64
-	// ColdStart disables warm-started receding-horizon solves (the
-	// -warm-start=false path): every round then solves from scratch, which
-	// reproduces strictly independent per-round solves at a severalfold
-	// iteration cost (see DESIGN.md §9).
-	ColdStart bool
-	// KKT selects the ADMM x-update backend (portfolio.KKTAuto by default:
-	// dense assembled KKT below n·h = 128, structure-exploiting block
-	// factorization at or above it; see DESIGN.md §10).
-	KKT portfolio.KKTPath
-	// Risk attaches the online revocation-risk estimator (internal/risk) to
-	// every SpotWeb policy a figure runs: the simulator feeds it ground
-	// truth and the planner consults its confidence-widened overlay instead
-	// of the raw catalog probabilities (the -risk path; see DESIGN.md §12).
-	Risk bool
-	// RiskQuantile overrides the estimator's upper-credible-bound quantile
-	// (0 keeps the default 0.90).
-	RiskQuantile float64
-	// RiskHalfLife overrides the evidence half-life in catalog-hours
-	// (0 keeps the default 24).
-	RiskHalfLife float64
-	// AnchorMin, when positive, is the per-period minimum on-demand
-	// (non-revocable) allocation share every SpotWeb policy must hold — the
-	// HA anchor tier (portfolio.Config.AMinOnDemand). 0 keeps the paper's
-	// unconstrained portfolio.
-	AnchorMin float64
-	// Sentinel enables the simulator's sentinel loop: stopped on-demand
-	// standbys warm-restart after revocations instead of cold launches.
-	Sentinel bool
-}
-
-// anchor applies the Options HA knobs to a policy's portfolio configuration.
-// The on-demand floor needs non-revocable capacity to anchor to, so it is
-// applied only when the catalog carries at least one non-transient market —
-// the paper's all-spot figure catalogs run unchanged. With AnchorMin == 0 the
-// returned config is identical to the input.
-func (o Options) anchor(cfg portfolio.Config, cat *market.Catalog) portfolio.Config {
-	if o.AnchorMin <= 0 {
-		return cfg
-	}
-	for _, m := range cat.Markets {
-		if !m.Transient {
-			cfg.AMinOnDemand = o.AnchorMin
-			return cfg
-		}
-	}
-	return cfg
-}
+// Options controls experiment size and output. It is the shared
+// runcfg.RunConfig — the same struct the daemons, the chaos runner and the
+// sweep engine consume — so one definition covers every way of driving a
+// run; see that package for the field documentation.
+type Options = runcfg.RunConfig
 
 // attachRisk wires the online risk estimator between a simulator and the
 // policy's planner when Options.Risk is set: the simulator streams ground
@@ -97,13 +38,6 @@ func attachRisk(opt Options, s *sim.Simulator, pol sim.Policy) {
 	est := risk.New(risk.Config{Quantile: opt.RiskQuantile, HalfLifeHrs: opt.RiskHalfLife}, s.Cat)
 	s.Cfg.Risk = est
 	sw.Planner.RiskOverlay = est
-}
-
-func (o Options) seed() int64 {
-	if o.Seed == 0 {
-		return 42
-	}
-	return o.Seed
 }
 
 // CostWithPenalty is the evaluation's cost metric: rental cost plus the SLO

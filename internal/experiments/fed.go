@@ -82,7 +82,7 @@ func FedScale(w io.Writer, opt Options, fopt FedScaleOptions) error {
 		fopt.Steps = 6
 	}
 	res := FedScaleResult{
-		Seed: opt.seed(), Regions: fopt.Regions, AZsPerRegion: fopt.AZs, TypesPerAZ: fopt.Types,
+		Seed: opt.RunSeed(), Regions: fopt.Regions, AZsPerRegion: fopt.AZs, TypesPerAZ: fopt.Types,
 	}
 
 	rounds, shards, markets, err := fedRun(opt, fopt, fopt.Regions)
@@ -171,7 +171,7 @@ func fedRun(opt Options, fopt FedScaleOptions, regions int) ([]FedRound, int, in
 		AZsPerRegion: fopt.AZs,
 		TypesPerAZ:   fopt.Types,
 		Hours:        72,
-		Seed:         opt.seed(),
+		Seed:         opt.RunSeed(),
 	})
 	if err != nil {
 		return nil, 0, 0, err

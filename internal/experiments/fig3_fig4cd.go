@@ -22,8 +22,8 @@ type TraceSummary struct {
 // statistics (the paper plots the raw series; we print the series summary
 // and expose the series for CSV export via cmd/tracegen).
 func Fig3Traces(w io.Writer, opt Options) (wiki, vod *trace.Series, summaries []TraceSummary) {
-	wikiCfg := trace.WikipediaLike(opt.seed())
-	vodCfg := trace.VoDLike(opt.seed() + 1)
+	wikiCfg := trace.WikipediaLike(opt.RunSeed())
+	vodCfg := trace.VoDLike(opt.RunSeed() + 1)
 	if opt.Quick {
 		wikiCfg.Days, vodCfg.Days = 7, 7
 	}
@@ -78,7 +78,7 @@ type PaddingResult struct {
 // (SpotWeb: ≈15% mean over-provisioning, ≈40% max, ≤3.2% max
 // under-provisioning; baseline: much worse under-provisioning).
 func Fig4cd(w io.Writer, opt Options) PaddingResult {
-	cfg := trace.WikipediaLike(opt.seed())
+	cfg := trace.WikipediaLike(opt.RunSeed())
 	if opt.Quick {
 		cfg.Days = 14
 	}

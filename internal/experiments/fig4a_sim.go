@@ -52,7 +52,7 @@ func fig4aSimScenario(vanilla bool, seed int64) microsim.Config {
 func Fig4aSim(w io.Writer, opt Options) Fig4aSimResult {
 	var res Fig4aSimResult
 	run := func(vanilla bool) (*microsim.Result, []stats.FiveNum) {
-		r, err := microsim.Run(fig4aSimScenario(vanilla, opt.seed()))
+		r, err := microsim.Run(fig4aSimScenario(vanilla, opt.RunSeed()))
 		if err != nil {
 			panic(err)
 		}

@@ -37,8 +37,8 @@ func fig5Setting(opt Options) (*market.Catalog, *trace.Series) {
 	if opt.Quick {
 		hours = 48
 	}
-	cat := market.Fig5Catalog(opt.seed(), hours)
-	cfg := trace.WikipediaLike(opt.seed())
+	cat := market.Fig5Catalog(opt.RunSeed(), hours)
+	cfg := trace.WikipediaLike(opt.RunSeed())
 	cfg.Days = (hours + 23) / 24
 	wl := cfg.Generate().Slice(0, hours)
 	return cat, wl
@@ -79,7 +79,7 @@ func Fig5(w io.Writer, opt Options) Fig5Result {
 
 	// Fig 5(d): SpotWeb MPO with oracle workload and oracle prices (the
 	// paper's oracle-predictor setting for this experiment).
-	swPol := autoscale.NewSpotWeb(opt.anchor(portfolio.Config{Horizon: 4, ChurnKappa: 0.05, DisableWarmStart: opt.ColdStart}, cat),
+	swPol := autoscale.NewSpotWeb(opt.Anchor(portfolio.Config{Horizon: 4, ChurnKappa: 0.05, DisableWarmStart: opt.ColdStart}, cat),
 		cat, &predict.Oracle{Values: wl.Values}, portfolio.OracleSource{Cat: cat})
 	swRes := mustRun(cat, wl, swPol, opt, true)
 
@@ -151,7 +151,7 @@ func printAllocSeries(w io.Writer, title string, names []string, counts [][]int)
 
 func mustRun(cat *market.Catalog, wl *trace.Series, pol sim.Policy, opt Options, aware bool) *sim.Result {
 	s := &sim.Simulator{
-		Cfg: sim.Config{Seed: opt.seed(), TransiencyAware: aware,
+		Cfg: sim.Config{Seed: opt.RunSeed(), TransiencyAware: aware,
 			HighUtil: opt.HighUtil, WarningSec: opt.WarningSec,
 			Sentinel: opt.Sentinel},
 		Cat:      cat,
@@ -196,7 +196,7 @@ func Fig6a(w io.Writer, opt Options) Fig6aResult {
 		SavingsPct: map[int]float64{},
 	}
 	for _, h := range []int{2, 4} {
-		pol := autoscale.NewSpotWeb(opt.anchor(portfolio.Config{Horizon: h, ChurnKappa: 0.05, DisableWarmStart: opt.ColdStart}, cat),
+		pol := autoscale.NewSpotWeb(opt.Anchor(portfolio.Config{Horizon: h, ChurnKappa: 0.05, DisableWarmStart: opt.ColdStart}, cat),
 			cat, &predict.Oracle{Values: wl.Values}, portfolio.OracleSource{Cat: cat})
 		r := mustRun(cat, wl, pol, opt, true)
 		res.SpotWeb[h] = r.TotalCost
@@ -240,10 +240,10 @@ func Fig6b(w io.Writer, opt Options, workload string) Fig6bResult {
 	const perHour = 4 // 15-minute decision intervals
 	var wcfg trace.WorkloadConfig
 	if workload == "vod" {
-		wcfg = trace.VoDLike(opt.seed())
+		wcfg = trace.VoDLike(opt.RunSeed())
 	} else {
 		workload = "wiki"
-		wcfg = trace.WikipediaLike(opt.seed())
+		wcfg = trace.WikipediaLike(opt.RunSeed())
 	}
 	// Prepend a two-week training prefix for the spline predictor (one week
 	// in quick mode), mirroring the paper's moving-window training.
@@ -260,7 +260,7 @@ func Fig6b(w io.Writer, opt Options, workload string) Fig6bResult {
 	res := Fig6bResult{MarketCounts: marketCounts, Horizons: horizons}
 	for _, nm := range marketCounts {
 		cat := market.CatalogConfig{
-			Seed: opt.seed() + int64(nm), NumTypes: nm,
+			Seed: opt.RunSeed() + int64(nm), NumTypes: nm,
 			Hours: days * 24, SamplesPerHour: perHour,
 		}.Generate()
 		exo := mustRun(cat, wl, autoscale.NewExoSphereLoop(cat, 5), opt, true)
@@ -272,7 +272,7 @@ func Fig6b(w io.Writer, opt Options, workload string) Fig6bResult {
 				StepHrs: 1.0 / perHour, ARLag1: true, CIProb: 0.99}, h)
 			predict.Pretrain(wlPred, full, trainN)
 			pol := autoscale.NewSpotWeb(
-				opt.anchor(portfolio.Config{Horizon: h, ChurnKappa: 1.0, DisableWarmStart: opt.ColdStart}, cat),
+				opt.Anchor(portfolio.Config{Horizon: h, ChurnKappa: 1.0, DisableWarmStart: opt.ColdStart}, cat),
 				cat, wlPred, portfolio.MeanRevertSource{Cat: cat})
 			r := mustRun(cat, wl, pol, opt, true)
 			row = append(row, 100*Savings(CostWithPenalty(r, 0.02), exoCost))

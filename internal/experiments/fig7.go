@@ -37,10 +37,10 @@ func Fig7a(w io.Writer, opt Options) Fig7aResult {
 		days = 4
 		fracs = []float64{0, 0.5, 1.0}
 	}
-	wcfg := trace.WikipediaLike(opt.seed())
+	wcfg := trace.WikipediaLike(opt.RunSeed())
 	wcfg.Days = days
 	wl := wcfg.Generate()
-	cat := market.CatalogConfig{Seed: opt.seed(), NumTypes: 12, Hours: wl.Len()}.Generate()
+	cat := market.CatalogConfig{Seed: opt.RunSeed(), NumTypes: 12, Hours: wl.Len()}.Generate()
 
 	// Measure the reactive predictor's one-step error to anchor the sweep.
 	reactiveErr := predict.Backtest(&predict.Reactive{}, wl, 24).MAPE
@@ -61,7 +61,7 @@ func Fig7a(w io.Writer, opt Options) Fig7aResult {
 			cat,
 			predict.NewPadded(&predict.NoisyOracle{
 				Oracle: predict.Oracle{Values: wl.Values}, RelError: e}, 0.99, 4),
-			portfolio.NoisySource{Base: portfolio.OracleSource{Cat: cat}, RelError: e, Seed: uint64(opt.seed())})
+			portfolio.NoisySource{Base: portfolio.OracleSource{Cat: cat}, RelError: e, Seed: uint64(opt.RunSeed())})
 		r := mustRun(cat, wl, pol, opt, true)
 		res.RelErrors = append(res.RelErrors, e)
 		res.SavingsPct = append(res.SavingsPct, 100*Savings(CostWithPenalty(r, 0.02), res.ReactiveCost))
@@ -94,7 +94,7 @@ func Fig7b(w io.Writer, opt Options) Fig7bResult {
 		horizons = []int{2, 6}
 		reps = 4
 	}
-	rng := rand.New(rand.NewSource(opt.seed()))
+	rng := rand.New(rand.NewSource(opt.RunSeed()))
 	res := Fig7bResult{MarketCounts: marketCounts, Horizons: horizons}
 	for _, n := range marketCounts {
 		var row []stats.FiveNum

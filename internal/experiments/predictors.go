@@ -34,11 +34,11 @@ func PredictorComparison(w io.Writer, opt Options) PredictorComparisonResult {
 		days = 10
 	}
 	mkTraces := func() map[string]*trace.Series {
-		wiki := trace.WikipediaLike(opt.seed())
+		wiki := trace.WikipediaLike(opt.RunSeed())
 		wiki.Days = days
-		vod := trace.VoDLike(opt.seed() + 1)
+		vod := trace.VoDLike(opt.RunSeed() + 1)
 		vod.Days = days
-		bursty := trace.BurstyDefault(opt.seed() + 2)
+		bursty := trace.BurstyDefault(opt.RunSeed() + 2)
 		bursty.Days = days
 		return map[string]*trace.Series{
 			"wiki":   wiki.Generate(),

@@ -119,6 +119,12 @@ type API struct {
 	Metrics *metrics.Registry
 	// Journal optionally serves the structured event journal at /events.
 	Journal *metrics.Journal
+	// Sweep optionally serves a sweep artifact at /sweep (raw JSON bytes,
+	// e.g. a file written by cmd/spotweb-sweep) with a minimal HTML surface
+	// browser at /sweep/ui. The callback returns the current artifact
+	// encoding, or nil when none is loaded. Raw bytes rather than a typed
+	// artifact keep the monitor decoupled from the sweep schema.
+	Sweep func() []byte
 	// EnablePProf registers the net/http/pprof handlers under
 	// /debug/pprof/.
 	EnablePProf bool
@@ -174,6 +180,22 @@ func (a *API) Handler() http.Handler {
 			out[strconv.Itoa(k)] = v
 		}
 		writeJSON(w, out)
+	})
+	mux.HandleFunc("/sweep", func(w http.ResponseWriter, _ *http.Request) {
+		var data []byte
+		if a.Sweep != nil {
+			data = a.Sweep()
+		}
+		if len(data) == 0 {
+			http.Error(w, "no sweep artifact loaded", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(data)
+	})
+	mux.HandleFunc("/sweep/ui", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		_, _ = w.Write([]byte(sweepUI))
 	})
 	mux.Handle("/metrics", metrics.Handler(a.Metrics))
 	mux.Handle("/events", metrics.JournalHandler(a.Journal))

@@ -1,0 +1,87 @@
+package monitor
+
+// sweepUI is the static surface browser behind /sweep/ui: it fetches the
+// artifact from /sweep and renders the per-(scenario, variant) surfaces as a
+// sortable table plus a grid summary line. Purely client-side so the monitor
+// stays a JSON API; styling is deliberately minimal.
+const sweepUI = `<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>SpotWeb scenario lab</title>
+<style>
+  body { font: 14px/1.4 system-ui, sans-serif; margin: 2rem; color: #222; }
+  h1 { font-size: 1.2rem; }
+  #meta { color: #666; margin-bottom: 1rem; }
+  table { border-collapse: collapse; }
+  th, td { border: 1px solid #ccc; padding: 0.25rem 0.6rem; text-align: right; }
+  th { background: #f2f2f2; cursor: pointer; }
+  td.name, th.name { text-align: left; }
+  tr:nth-child(even) td { background: #fafafa; }
+  .err { color: #a00; }
+</style>
+</head>
+<body>
+<h1>SpotWeb scenario lab — sweep surfaces</h1>
+<div id="meta">loading /sweep…</div>
+<table id="surfaces" hidden>
+  <thead><tr>
+    <th class="name" data-k="scenario">scenario</th>
+    <th class="name" data-k="variant">variant</th>
+    <th data-k="cells">seeds</th>
+    <th data-k="score">score μ</th>
+    <th data-k="score_min">min</th>
+    <th data-k="slo">SLO% μ</th>
+    <th data-k="cost">cost $ μ</th>
+    <th data-k="costpct">Δcost% μ</th>
+    <th data-k="rec">recovery s μ</th>
+    <th data-k="never">never rec.</th>
+  </tr></thead>
+  <tbody></tbody>
+</table>
+<script>
+(async () => {
+  const meta = document.getElementById('meta');
+  let art;
+  try {
+    const res = await fetch('/sweep');
+    if (!res.ok) throw new Error(await res.text());
+    art = await res.json();
+  } catch (e) {
+    meta.innerHTML = '<span class="err">no sweep artifact: ' + e.message + '</span>';
+    return;
+  }
+  const g = art.grid || {};
+  meta.textContent = (g.name || 'sweep') + ' — ' + (art.cells || []).length + ' cells (' +
+    (g.scenarios || []).length + ' scenarios × ' + (g.seeds || 0) + ' seeds × ' +
+    (g.variants || []).length + ' variants), schema ' + art.schema;
+  const rows = (art.surfaces || []).map(s => ({
+    scenario: s.scenario, variant: s.variant, cells: s.cells,
+    score: s.score.mean, score_min: s.score.min,
+    slo: s.slo_attainment_pct.mean, cost: s.cost_usd.mean,
+    costpct: s.cost_delta_pct.mean, rec: s.recovery_secs.mean,
+    never: s.never_recovered || 0,
+  }));
+  const tbody = document.querySelector('#surfaces tbody');
+  const fmt = v => typeof v === 'number' && !Number.isInteger(v) ? v.toFixed(2) : v;
+  const render = () => {
+    tbody.innerHTML = rows.map(r =>
+      '<tr><td class="name">' + r.scenario + '</td><td class="name">' + r.variant + '</td>' +
+      ['cells','score','score_min','slo','cost','costpct','rec','never']
+        .map(k => '<td>' + fmt(r[k]) + '</td>').join('') + '</tr>').join('');
+  };
+  let sortKey = 'scenario', asc = true;
+  document.querySelectorAll('#surfaces th').forEach(th => th.onclick = () => {
+    const k = th.dataset.k;
+    asc = k === sortKey ? !asc : true;
+    sortKey = k;
+    rows.sort((a, b) => (a[k] < b[k] ? -1 : a[k] > b[k] ? 1 : 0) * (asc ? 1 : -1));
+    render();
+  });
+  render();
+  document.getElementById('surfaces').hidden = false;
+})();
+</script>
+</body>
+</html>
+`

@@ -62,6 +62,30 @@ func New(workers int) *Pool {
 	return p
 }
 
+// NewIO returns a pool with exactly the given number of workers, NOT clamped
+// to GOMAXPROCS, with a task queue deep enough to hold one task per worker.
+// It is meant for workloads that block — sleeping sweep cells, network waits,
+// subprocess fan-out — where more workers than cores is the point: on a
+// one-core box an 8-worker NewIO pool overlaps 8 blocking tasks. The queue
+// depth matters for the same reason: with unbuffered hand-off a submitter can
+// find every worker momentarily unscheduled and run the task inline, which
+// serializes the very blocking this pool exists to overlap. Tasks that
+// overflow the queue still run inline (deadlock freedom, constraint 2), but
+// under steady draining that is rare. Determinism guarantees are unchanged.
+//
+// workers <= 1 returns Serial. Pools returned by NewIO own their workers;
+// call Close when done.
+func NewIO(workers int) *Pool {
+	if workers <= 1 {
+		return Serial
+	}
+	p := &Pool{width: workers, tasks: make(chan func(), workers), owner: true}
+	for i := 0; i < workers; i++ {
+		go p.work()
+	}
+	return p
+}
+
 var (
 	defaultOnce sync.Once
 	defaultPool *Pool

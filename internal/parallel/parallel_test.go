@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // withProcs raises GOMAXPROCS so pools wider than the host's core count can
@@ -237,4 +238,45 @@ func TestSharedPoolStress(t *testing.T) {
 		}()
 	}
 	wg.Wait()
+}
+
+// TestNewIOUnclamped verifies NewIO spawns exactly the requested worker
+// count regardless of GOMAXPROCS — the property sweep throughput on small
+// containers depends on.
+func TestNewIOUnclamped(t *testing.T) {
+	p := NewIO(8)
+	defer p.Close()
+	if got := p.Workers(); got != 8 {
+		t.Fatalf("NewIO(8).Workers() = %d, want 8 (GOMAXPROCS=%d)", got, runtime.GOMAXPROCS(0))
+	}
+	if NewIO(1) != Serial || NewIO(0) != Serial {
+		t.Error("NewIO(<=1) should return the Serial pool")
+	}
+}
+
+// TestNewIOOverlapsBlockingTasks checks the buffered queue actually overlaps
+// blocking work beyond the core count: 8 tasks that each block until all 8
+// have started can only finish if 8 workers truly run them concurrently (an
+// inline fallback on the submitter would deadlock the barrier, so a timeout
+// guards the wait).
+func TestNewIOOverlapsBlockingTasks(t *testing.T) {
+	const n = 8
+	p := NewIO(n)
+	defer p.Close()
+	var started sync.WaitGroup
+	started.Add(n)
+	fns := make([]func(), n)
+	for i := range fns {
+		fns[i] = func() {
+			started.Done()
+			started.Wait() // barrier: requires all n running at once
+		}
+	}
+	done := make(chan struct{})
+	go func() { p.Do(fns...); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("NewIO(8) failed to run 8 blocking tasks concurrently")
+	}
 }

@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/market"
+)
+
+// steadyPolicy returns the same counts slice every round without allocating,
+// so the allocation measurements below see only the simulator's own work.
+type steadyPolicy struct{ counts []int }
+
+func (p *steadyPolicy) Name() string                       { return "steady" }
+func (p *steadyPolicy) Decide(int, float64) ([]int, error) { return p.counts, nil }
+
+// runAllocs measures the average allocation count of a full default-path run
+// over a trace of n intervals, with a pre-warmed shared Scratch.
+func runAllocs(t *testing.T, n int) float64 {
+	t.Helper()
+	cat := noFailCatalog(n)
+	s := &Simulator{
+		Cfg:      Config{Seed: 1, TransiencyAware: true},
+		Cat:      cat,
+		Workload: flatWorkload(n, 300),
+		Policy:   &steadyPolicy{counts: []int{4, 0, 0}},
+		Scratch:  NewScratch(),
+	}
+	run := func() {
+		if _, err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm the scratch buffers
+	return testing.AllocsPerRun(5, run)
+}
+
+// TestRunSteadyStateZeroAllocsPerRound is the regression gate for the sweep
+// engine's hot path: once the Scratch buffers are warm, simulating an
+// additional round on the default path must allocate nothing. Per-run
+// overhead (the RNG, the cluster, the preallocated result arrays) is
+// measured out by differencing two run lengths — only the marginal per-round
+// count is asserted.
+func TestRunSteadyStateZeroAllocsPerRound(t *testing.T) {
+	short := runAllocs(t, 61) // 60 simulated rounds
+	long := runAllocs(t, 121) // 120 simulated rounds
+	perRound := (long - short) / 60
+	if math.Abs(perRound) > 0.01 {
+		t.Fatalf("steady-state rounds allocate: %.3f allocs/round (short run %.1f, long run %.1f)",
+			perRound, short, long)
+	}
+}
+
+// TestRunPerRunAllocsBounded keeps the fixed per-run overhead itself small:
+// a run should cost a constant handful of setup allocations, not something
+// proportional to the trace. The bound is deliberately loose — it exists to
+// catch a reintroduced per-round allocation (which would add ~60 here), not
+// to pin the exact setup count.
+func TestRunPerRunAllocsBounded(t *testing.T) {
+	if got := runAllocs(t, 61); got > 40 {
+		t.Fatalf("per-run allocations = %.1f, want <= 40", got)
+	}
+}
+
+// TestScratchReuseAcrossCatalogsIsDeterministic reruns simulations of
+// different shapes on one Scratch and checks results stay bit-identical to
+// fresh-scratch runs — the hygiene a sweep worker relies on when driving
+// many heterogeneous cells through the same buffers.
+func TestScratchReuseAcrossCatalogsIsDeterministic(t *testing.T) {
+	build := func(hours int, rate float64, scr *Scratch) *Simulator {
+		return &Simulator{
+			Cfg:      Config{Seed: 3, TransiencyAware: true},
+			Cat:      market.TestbedCatalog(1, hours),
+			Workload: flatWorkload(hours, rate),
+			Policy:   &steadyPolicy{counts: []int{3, 1, 0}},
+			Scratch:  scr,
+		}
+	}
+	shared := NewScratch()
+	for _, shape := range []struct {
+		hours int
+		rate  float64
+	}{{24, 250}, {48, 400}, {24, 250}} {
+		got, err := build(shape.hours, shape.rate, shared).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := build(shape.hours, shape.rate, nil).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.TotalCost != want.TotalCost || got.Served != want.Served ||
+			got.Dropped != want.Dropped || got.ViolationPct != want.ViolationPct ||
+			got.Revocations != want.Revocations {
+			t.Fatalf("shared-scratch run diverged for %+v: got %+v want %+v", shape, got, want)
+		}
+	}
+}

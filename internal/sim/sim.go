@@ -10,7 +10,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"repro/internal/chaos"
 	"repro/internal/cluster"
@@ -223,7 +223,77 @@ type Simulator struct {
 	Cat      *market.Catalog
 	Workload *trace.Series
 	Policy   Policy
+	// Scratch, when non-nil, supplies the run's reusable working memory so
+	// repeated runs on one goroutine (e.g. sweep cells on a worker) reach
+	// steady-state zero allocations per simulated round. Nil makes Run use a
+	// private Scratch. A Scratch must not be shared between concurrently
+	// running simulators.
+	Scratch *Scratch
 }
+
+// Scratch is the simulator's reusable working memory: the revocation
+// buffers, copula group shocks, exposure/price snapshots, dead-routing
+// entries and the ID/server slices the journal and sentinel paths scan —
+// everything Run would otherwise rebuild every round. With a warmed-up
+// Scratch a simulated round on the default path allocates nothing beyond
+// the result arrays Run preallocates once (asserted by the AllocsPerRun
+// regression test), which is what keeps thousand-cell sweeps off the
+// garbage collector.
+type Scratch struct {
+	exposed    []bool
+	prices     []float64
+	groupShock []float64
+	groupSet   []bool
+	blacked    []bool
+	revoked    []bool
+	revs       []revocation
+	prevIDs    []int
+	victims    []int
+	pops       []popCount
+	mktBuf     []*cluster.Server
+	stoppedBuf []*cluster.Server
+	dead       []deadRouting
+	billed     map[int]float64
+}
+
+// NewScratch returns an empty Scratch; the buffers grow to the catalog's
+// size on first use and are retained across runs.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// growTo resizes s to length n, reallocating only when the capacity is
+// insufficient. Contents are unspecified; callers reset what they read.
+func growTo[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// reset sizes the per-market and per-group buffers for a run and clears
+// every piece of state that carries meaning across calls.
+func (sc *Scratch) reset(markets, groups int) {
+	sc.exposed = growTo(sc.exposed, markets)
+	sc.prices = growTo(sc.prices, markets)
+	sc.blacked = growTo(sc.blacked, markets)
+	sc.revoked = growTo(sc.revoked, markets)
+	sc.groupShock = growTo(sc.groupShock, groups)
+	sc.groupSet = growTo(sc.groupSet, groups)
+	sc.revs = sc.revs[:0]
+	sc.prevIDs = sc.prevIDs[:0]
+	sc.victims = sc.victims[:0]
+	sc.pops = sc.pops[:0]
+	sc.mktBuf = sc.mktBuf[:0]
+	sc.stoppedBuf = sc.stoppedBuf[:0]
+	sc.dead = sc.dead[:0]
+	if sc.billed == nil {
+		sc.billed = make(map[int]float64)
+	} else {
+		clear(sc.billed)
+	}
+}
+
+// popCount is a (market, live-server-count) pair used by storm targeting.
+type popCount struct{ mkt, n int }
 
 // revocation is an in-flight within-interval event.
 type revocation struct {
@@ -256,8 +326,21 @@ func (s *Simulator) Run() (*Result, error) {
 	secPerHr := 3600.0
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
+	catLen := s.Cat.Len()
+	scr := s.Scratch
+	if scr == nil {
+		scr = NewScratch()
+	}
+	groups := 0
+	for _, m := range s.Cat.Markets {
+		if m.Group+1 > groups {
+			groups = m.Group + 1
+		}
+	}
+	scr.reset(catLen, groups)
+
 	cl := cluster.New(cfg.StartDelaySec/secPerHr, cfg.WarmupSec/secPerHr, 0.4)
-	caps := make([]float64, s.Cat.Len())
+	caps := make([]float64, catLen)
 	for i, m := range s.Cat.Markets {
 		caps[i] = m.Type.Capacity
 	}
@@ -273,12 +356,18 @@ func (s *Simulator) Run() (*Result, error) {
 
 	res := &Result{Policy: s.Policy.Name(), Actions: make(map[string]int)}
 	var latWeighted, servedTotal, offeredTotal, violTotal float64
-	var dead []deadRouting
-	var backlog float64                  // queued (delayed) requests
-	billedUntil := make(map[int]float64) // server ID → hours paid through
+	dead := scr.dead
+	var backlog float64       // queued (delayed) requests
+	billedUntil := scr.billed // server ID → hours paid through
 	inAdmission := false
 
 	n := s.Workload.Len()
+	// The result arrays are the only per-round growth: preallocate them (and
+	// one arena backing every interval's Counts) so the steady-state loop
+	// appends without ever reallocating.
+	res.Intervals = make([]IntervalMetrics, 0, n-1)
+	res.Attainment = make([]chaos.AttainPoint, 0, (n-1)*cfg.SubSteps)
+	countsArena := make([]int, (n-1)*catLen)
 	// Chaos fault times are normalized fractions of the run: 0 is the start
 	// of the first simulated interval, 1 its end.
 	runStart := stepHrs
@@ -295,26 +384,29 @@ func (s *Simulator) Run() (*Result, error) {
 		return x
 	}
 	// advance ticks the cluster and, when a journal is attached, records the
-	// servers reaped as terminated (in ID order, for determinism).
+	// servers reaped as terminated (in ID order, for determinism). Server IDs
+	// are assigned in increasing order and Advance preserves order, so both
+	// the before and after views are ID-ascending: the reaped set falls out
+	// of one linear merge, with no per-call map or sort.
 	advance := func(now float64) {
 		if cfg.Journal == nil {
 			cl.Advance(now)
 			return
 		}
-		prev := make([]int, 0, len(cl.Servers()))
+		prev := scr.prevIDs[:0]
 		for _, srv := range cl.Servers() {
 			prev = append(prev, srv.ID)
 		}
+		scr.prevIDs = prev
 		cl.Advance(now)
-		live := make(map[int]bool, len(cl.Servers()))
-		for _, srv := range cl.Servers() {
-			live[srv.ID] = true
-		}
-		sort.Ints(prev)
+		live := cl.Servers()
+		j := 0
 		for _, id := range prev {
-			if !live[id] {
-				cfg.Journal.Record(metrics.EvBackendTerminated, id, -1, "")
+			if j < len(live) && live[j].ID == id {
+				j++
+				continue
 			}
+			cfg.Journal.Record(metrics.EvBackendTerminated, id, -1, "")
 		}
 	}
 	for t := 1; t < n; t++ {
@@ -359,13 +451,20 @@ func (s *Simulator) Run() (*Result, error) {
 			}
 			if od >= 0 {
 				pool := 0.0
-				for _, sb := range cl.StoppedServers() {
+				stoppedN := 0
+				scr.stoppedBuf = cl.AppendStopped(scr.stoppedBuf[:0])
+				for _, sb := range scr.stoppedBuf {
 					pool += sb.Capacity
+					stoppedN++
 				}
 				target := cfg.SentinelShare * lambda
-				for k := 0; (pool < target || len(cl.StoppedServers()) < cfg.SentinelStandby) && k < 256; k++ {
+				// Every LaunchStopped adds exactly one stopped server, so the
+				// pool size is tracked incrementally instead of re-materializing
+				// the stopped list per iteration.
+				for k := 0; (pool < target || stoppedN < cfg.SentinelStandby) && k < 256; k++ {
 					sb := cl.LaunchStopped(od, caps[od], scaleAt)
 					pool += sb.Capacity
+					stoppedN++
 				}
 			}
 		}
@@ -376,22 +475,23 @@ func (s *Simulator) Run() (*Result, error) {
 		// catalog's per-interval probability describes.
 		var exposed []bool
 		if cfg.Risk != nil {
-			exposed = make([]bool, s.Cat.Len())
+			exposed = scr.exposed
 			for i, m := range s.Cat.Markets {
-				exposed[i] = m.Transient && len(cl.ServersInMarket(i)) > 0
+				exposed[i] = m.Transient && cl.CountInMarket(i) > 0
 			}
 		}
 
 		// Sample correlated revocations for this interval (Gaussian copula
-		// over market groups).
-		var revs []*revocation
-		groupShock := map[int]float64{}
-		blackedNow := map[int]bool{}
+		// over market groups). The shock/blackout state lives in per-market
+		// and per-group scratch slices cleared each interval.
+		revs := scr.revs[:0]
+		clear(scr.groupSet)
+		clear(scr.blacked)
 		for i, m := range s.Cat.Markets {
 			if !m.Transient {
 				continue
 			}
-			if len(cl.ServersInMarket(i)) == 0 {
+			if cl.CountInMarket(i) == 0 {
 				continue
 			}
 			// Region-outage blackout: any server alive in a dark market is
@@ -402,13 +502,13 @@ func (s *Simulator) Run() (*Result, error) {
 			// dark together (demand pools are AZ-local), so no group shock is
 			// half-consumed.
 			if ws, dark := cfg.Chaos.Blackout(progress(tStart), i); dark {
-				revs = append(revs, &revocation{
+				revs = append(revs, revocation{
 					market:    i,
 					warnAt:    tStart + 0.2*stepHrs,
 					warnScale: ws,
 					injected:  true,
 				})
-				blackedNow[i] = true
+				scr.blacked[i] = true
 				res.Revocations++
 				res.InjectedRevocations++
 				continue
@@ -417,17 +517,17 @@ func (s *Simulator) Run() (*Result, error) {
 			if f <= 0 {
 				continue
 			}
-			zg, ok := groupShock[m.Group]
-			if !ok {
-				zg = rng.NormFloat64()
-				groupShock[m.Group] = zg
+			if !scr.groupSet[m.Group] {
+				scr.groupShock[m.Group] = rng.NormFloat64()
+				scr.groupSet[m.Group] = true
 			}
+			zg := scr.groupShock[m.Group]
 			rho := cfg.GroupCorrelation
 			z := rho*zg + math.Sqrt(1-rho*rho)*rng.NormFloat64()
 			// Revoke when the market's latent demand shock falls in the
 			// lower f-quantile.
 			if normCDF(z) < f {
-				revs = append(revs, &revocation{
+				revs = append(revs, revocation{
 					market:    i,
 					warnAt:    tStart + stepHrs*(0.2+0.6*rng.Float64()),
 					warnScale: 1,
@@ -439,13 +539,13 @@ func (s *Simulator) Run() (*Result, error) {
 		// Injected revocation storms scheduled for this interval.
 		for _, cr := range cfg.Chaos.Revocations(progress(tStart), progress(tEnd)) {
 			when := runStart + cr.T*runLen
-			for _, mkt := range s.stormVictims(cl, cr) {
-				if blackedNow[mkt] {
+			for _, mkt := range s.stormVictims(cl, cr, scr) {
+				if scr.blacked[mkt] {
 					// The blackout branch above already force-revoked this
 					// market; the outage-start storm must not double-fire.
 					continue
 				}
-				revs = append(revs, &revocation{
+				revs = append(revs, revocation{
 					market:    mkt,
 					warnAt:    when,
 					warnScale: cr.WarnScale,
@@ -455,6 +555,7 @@ func (s *Simulator) Run() (*Result, error) {
 				res.InjectedRevocations++
 			}
 		}
+		scr.revs = revs // retain the grown buffer for the next interval
 
 		// Sub-interval fluid simulation.
 		sub := stepHrs / float64(cfg.SubSteps)
@@ -506,7 +607,8 @@ func (s *Simulator) Run() (*Result, error) {
 				}
 			}
 			// Fire revocation warnings.
-			for _, rv := range revs {
+			for ri := range revs {
+				rv := &revs[ri]
 				if rv.handled || now < rv.warnAt {
 					continue
 				}
@@ -523,7 +625,8 @@ func (s *Simulator) Run() (*Result, error) {
 					cfg.Risk.ObserveRevocation(rv.market, rv.injected)
 				}
 				lost := 0.0
-				for _, srv := range cl.ServersInMarket(rv.market) {
+				scr.mktBuf = cl.AppendServersInMarket(scr.mktBuf[:0], rv.market)
+				for _, srv := range scr.mktBuf {
 					lost += srv.EffectiveCapacity(now)
 					cl.RevokeWarning(srv.ID, rv.warnAt, effWarnHrs)
 					cfg.Journal.Record(metrics.EvWarning, srv.ID, rv.market, detail)
@@ -570,7 +673,8 @@ func (s *Simulator) Run() (*Result, error) {
 								projected += srv.Capacity
 							}
 						}
-						for _, sb := range cl.StoppedServers() {
+						scr.stoppedBuf = cl.AppendStopped(scr.stoppedBuf[:0])
+						for _, sb := range scr.stoppedBuf {
 							if projected >= lambda {
 								break
 							}
@@ -586,7 +690,7 @@ func (s *Simulator) Run() (*Result, error) {
 						// Reprovision: replace remaining lost capacity in the
 						// cheapest surviving transient market (reactive,
 						// cold — start delay plus cache warm-up).
-						repl := s.cheapestAlive(t, x, revs)
+						repl := s.cheapestAlive(t, x, revs, scr)
 						if lost > 0 && repl >= 0 {
 							need := int(math.Ceil(lost / caps[repl]))
 							for r := 0; r < need; r++ {
@@ -747,7 +851,8 @@ func (s *Simulator) Run() (*Result, error) {
 		servedTotal += im.Served
 		res.Served += im.Served
 		res.Dropped += im.Dropped
-		im.Counts = cl.CountByMarket(s.Cat.Len())
+		im.Counts = countsArena[(t-1)*catLen : t*catLen : t*catLen]
+		cl.CountByMarketInto(im.Counts)
 		if im.Served > 0 {
 			im.Latency = imLatWeighted / im.Served
 		}
@@ -757,16 +862,19 @@ func (s *Simulator) Run() (*Result, error) {
 		// revocations and exposure, run changepoint detection on the current
 		// prices, and publish a fresh overlay for the next planning round.
 		if cfg.Risk != nil {
-			prices := make([]float64, s.Cat.Len())
+			prices := scr.prices
 			for i, m := range s.Cat.Markets {
 				prices[i] = m.PriceAt(t)
 			}
+			// The estimator reads both snapshots synchronously and retains
+			// neither, so the scratch slices are safe to hand over.
 			cfg.Risk.ObserveInterval(t, exposed, prices)
 		}
 
 		// Advance to the interval boundary.
 		advance(tEnd)
 	}
+	scr.dead = dead[:0] // retain the grown buffer across runs
 	if servedTotal > 0 {
 		res.MeanLatency = latWeighted / servedTotal
 	}
@@ -780,54 +888,59 @@ func (s *Simulator) Run() (*Result, error) {
 // an explicit market list is filtered to live transient markets; otherwise
 // the Count most-populated live transient markets are hit (ties broken by
 // ascending index, for determinism) — correlated storms take out the markets
-// the portfolio leans on hardest.
-func (s *Simulator) stormVictims(cl *cluster.Cluster, rv chaos.Revocation) []int {
+// the portfolio leans on hardest. The returned slice is scratch memory,
+// valid until the next call.
+func (s *Simulator) stormVictims(cl *cluster.Cluster, rv chaos.Revocation, scr *Scratch) []int {
+	out := scr.victims[:0]
 	if len(rv.Markets) > 0 {
-		var out []int
 		for _, mkt := range rv.Markets {
 			if mkt < 0 || mkt >= s.Cat.Len() || !s.Cat.Markets[mkt].Transient {
 				continue
 			}
-			if len(cl.ServersInMarket(mkt)) > 0 {
+			if cl.CountInMarket(mkt) > 0 {
 				out = append(out, mkt)
 			}
 		}
+		scr.victims = out
 		return out
 	}
-	type pop struct{ mkt, n int }
-	var pops []pop
+	pops := scr.pops[:0]
 	for i, m := range s.Cat.Markets {
 		if !m.Transient {
 			continue
 		}
-		if n := len(cl.ServersInMarket(i)); n > 0 {
-			pops = append(pops, pop{i, n})
+		if n := cl.CountInMarket(i); n > 0 {
+			pops = append(pops, popCount{i, n})
 		}
 	}
-	sort.Slice(pops, func(a, b int) bool {
-		if pops[a].n != pops[b].n {
-			return pops[a].n > pops[b].n
+	scr.pops = pops
+	// The comparator is a total order (count, then index), so any correct
+	// sort yields the identical sequence.
+	slices.SortFunc(pops, func(a, b popCount) int {
+		if a.n != b.n {
+			return b.n - a.n
 		}
-		return pops[a].mkt < pops[b].mkt
+		return a.mkt - b.mkt
 	})
 	k := rv.Count
 	if k > len(pops) {
 		k = len(pops)
 	}
-	out := make([]int, 0, k)
 	for i := 0; i < k; i++ {
 		out = append(out, pops[i].mkt)
 	}
+	scr.victims = out
 	return out
 }
 
 // cheapestAlive returns the cheapest transient market not currently being
 // revoked or blacked out (x is the run progress, for the blackout query),
 // or -1.
-func (s *Simulator) cheapestAlive(t int, x float64, revs []*revocation) int {
-	revoked := map[int]bool{}
-	for _, r := range revs {
-		revoked[r.market] = true
+func (s *Simulator) cheapestAlive(t int, x float64, revs []revocation, scr *Scratch) int {
+	revoked := scr.revoked
+	clear(revoked)
+	for i := range revs {
+		revoked[revs[i].market] = true
 	}
 	best, bestCost := -1, 0.0
 	for i, m := range s.Cat.Markets {

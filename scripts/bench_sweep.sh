@@ -1,0 +1,59 @@
+#!/bin/sh
+# bench_sweep.sh — scenario-lab throughput run for the BENCH_sweep trajectory.
+#
+# Two measurements feed the baseline named by $1 (default BENCH_sweep.json):
+#
+#   1. BenchmarkSweepEngineScaling (w1/w2/w4/w8 over calibrated 2 ms blocking
+#      cells) — pure engine scaling, independent of host core count. The
+#      w1/w8 ns/op ratio must stay >= MIN_SPEEDUP (default 6), the engine's
+#      concurrency gate.
+#   2. BenchmarkSweepCells (the real 1,000-cell quick chaos-suite sweep,
+#      5 scenarios x 40 seeds x 5 variants, w1 and w8) — end-to-end CPU-bound
+#      cell throughput on this host.
+#
+# The real sweep is then run once through cmd/spotweb-sweep and its Stats
+# (cells/sec, workers, cores) are embedded under "meta" so the artifact
+# records what the throughput number means on this machine. CI's
+# bench-gate job compares a fresh run against the checked-in BENCH_sweep.json
+# with a 20% ns/op threshold.
+#
+# Env knobs: COUNT (bench repetitions, default 2), BENCHTIME (default 1x),
+# SEEDS (real-sweep seed axis, default 40 -> 1,000 cells), WORKERS (default 8),
+# MIN_SPEEDUP (default 6).
+#
+# Requires: go. Exits nonzero if any step fails or the scaling gate misses.
+set -eu
+
+OUT="${1:-BENCH_sweep.json}"
+COUNT="${COUNT:-2}"
+BENCHTIME="${BENCHTIME:-1x}"
+SEEDS="${SEEDS:-40}"
+WORKERS="${WORKERS:-8}"
+MIN_SPEEDUP="${MIN_SPEEDUP:-6}"
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+echo "==> sweep benchmarks: -count=$COUNT -benchtime=$BENCHTIME" >&2
+go test -run='^$' -bench='BenchmarkSweep' \
+    -count="$COUNT" -benchtime="$BENCHTIME" \
+    ./internal/sweep/ | tee "$tmp/bench_raw.txt" >&2
+
+echo "==> engine scaling gate: w1/w8 >= ${MIN_SPEEDUP}x" >&2
+awk -v min="$MIN_SPEEDUP" '
+  /BenchmarkSweepEngineScaling\/w1-?/ { if (!n1 || $3 < n1) n1 = $3 }
+  /BenchmarkSweepEngineScaling\/w8-?/ { if (!n8 || $3 < n8) n8 = $3 }
+  END {
+    if (!n1 || !n8) { print "bench_sweep: missing w1/w8 scaling rows" > "/dev/stderr"; exit 1 }
+    ratio = n1 / n8
+    printf "bench_sweep: engine scaling w1/w8 = %.2fx\n", ratio > "/dev/stderr"
+    if (ratio < min) { printf "bench_sweep: FAIL — below %.1fx\n", min > "/dev/stderr"; exit 1 }
+  }' "$tmp/bench_raw.txt"
+
+echo "==> real sweep: chaos suite, $SEEDS seeds (-quick, $WORKERS workers)" >&2
+go run ./cmd/spotweb-sweep -name chaos-suite -seeds "$SEEDS" -quick -workers "$WORKERS" \
+    -out "$tmp/sweep_artifact.json" -stats-out "$tmp/sweep_stats.json"
+
+go run ./scripts/benchdiff -parse "$tmp/bench_raw.txt" \
+    -schema spotweb-bench-sweep/v1 -meta "$tmp/sweep_stats.json" -out "$OUT"
+echo "==> wrote $OUT" >&2

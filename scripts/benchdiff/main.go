@@ -1,11 +1,13 @@
-// Command benchdiff maintains the BENCH_lb trajectory: it parses raw
+// Command benchdiff maintains the BENCH_* trajectories: it parses raw
 // `go test -bench` output into a compact JSON baseline and compares two
-// baselines with a regression threshold. It is the CI bench gate's brain
-// (scripts/bench_lb.sh produces, the bench-gate workflow job compares).
+// baselines with a regression threshold. It is the CI bench gates' brain
+// (scripts/bench_lb.sh and scripts/bench_sweep.sh produce, the workflow
+// jobs compare).
 //
 // Parse mode (produce a baseline from raw benchmark output):
 //
 //	benchdiff -parse raw.txt [-loadgen loadgen.json] -out BENCH_lb.json
+//	benchdiff -parse raw.txt -schema spotweb-bench-sweep/v1 -meta stats.json -out BENCH_sweep.json
 //
 // Multiple runs of the same benchmark (-count=N) collapse to the MINIMUM
 // ns/op: the minimum is the least-noisy estimator of the true cost on a
@@ -32,11 +34,15 @@ import (
 	"strconv"
 )
 
-// Baseline is the BENCH_lb.json schema.
+// Baseline is the BENCH_*.json schema.
 type Baseline struct {
 	Schema     string                `json:"schema"`
 	Benchmarks map[string]BenchEntry `json:"benchmarks"`
 	Loadgen    json.RawMessage       `json:"loadgen,omitempty"`
+	// Meta carries arbitrary producer-supplied context (e.g. the sweep
+	// engine's Stats: real-cell cells/sec, worker and core counts). It is
+	// informational — compare mode gates only on Benchmarks.
+	Meta json.RawMessage `json:"meta,omitempty"`
 }
 
 // BenchEntry is one benchmark's summarized result.
@@ -45,7 +51,9 @@ type BenchEntry struct {
 	Samples int     `json:"samples"` // runs collapsed into the minimum
 }
 
-const schemaID = "spotweb-bench-lb/v1"
+// defaultSchema keeps the original LB trajectory working unflagged; other
+// trajectories pass -schema explicitly.
+const defaultSchema = "spotweb-bench-lb/v1"
 
 // benchLine matches `BenchmarkName-8   12345   67.8 ns/op ...`; the -N
 // GOMAXPROCS suffix is stripped so baselines transfer across machines.
@@ -54,6 +62,8 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.eE+]
 func main() {
 	parse := flag.String("parse", "", "raw go-test bench output to summarize")
 	loadgen := flag.String("loadgen", "", "optional loadgen result JSON to embed (parse mode)")
+	schema := flag.String("schema", defaultSchema, "schema id stamped into the baseline (parse mode)")
+	meta := flag.String("meta", "", "optional JSON file embedded verbatim under 'meta' (parse mode)")
 	out := flag.String("out", "BENCH_lb.json", "output path for the summarized baseline (parse mode)")
 	baseline := flag.String("baseline", "", "checked-in baseline JSON (compare mode)")
 	current := flag.String("current", "", "candidate baseline JSON (compare mode)")
@@ -62,7 +72,7 @@ func main() {
 
 	switch {
 	case *parse != "":
-		if err := runParse(*parse, *loadgen, *out); err != nil {
+		if err := runParse(*parse, *loadgen, *meta, *schema, *out); err != nil {
 			fatal(err)
 		}
 	case *baseline != "" && *current != "":
@@ -85,14 +95,14 @@ func fatal(err error) {
 	os.Exit(2)
 }
 
-func runParse(rawPath, loadgenPath, outPath string) error {
+func runParse(rawPath, loadgenPath, metaPath, schema, outPath string) error {
 	f, err := os.Open(rawPath)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
 
-	b := Baseline{Schema: schemaID, Benchmarks: map[string]BenchEntry{}}
+	b := Baseline{Schema: schema, Benchmarks: map[string]BenchEntry{}}
 	sc := bufio.NewScanner(f)
 	for sc.Scan() {
 		m := benchLine.FindStringSubmatch(sc.Text())
@@ -125,6 +135,16 @@ func runParse(rawPath, loadgenPath, outPath string) error {
 			return fmt.Errorf("%s is not valid JSON", loadgenPath)
 		}
 		b.Loadgen = json.RawMessage(lg)
+	}
+	if metaPath != "" {
+		m, err := os.ReadFile(metaPath)
+		if err != nil {
+			return err
+		}
+		if !json.Valid(m) {
+			return fmt.Errorf("%s is not valid JSON", metaPath)
+		}
+		b.Meta = json.RawMessage(m)
 	}
 	enc, err := json.MarshalIndent(b, "", "  ")
 	if err != nil {
